@@ -1,0 +1,82 @@
+// Command mhabench regenerates the tables and figures of the paper's
+// evaluation (Section 5) from the simulator, plus the ablations listed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	mhabench -list                 # enumerate experiment ids
+//	mhabench -fig 14b              # one experiment at full (paper) scale
+//	mhabench -fig 11a,11b -quick   # several, at reduced scale
+//	mhabench -all -quick           # the whole suite, CI-sized
+//
+// Full scale reproduces the paper's exact topologies (up to 32 nodes x 32
+// PPN = 1024 simulated ranks) and takes a few minutes for the largest
+// figures; -quick shrinks topologies 4x in each dimension and runs in
+// seconds while preserving every qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mha/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "comma-separated experiment ids (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced-scale topologies (seconds instead of minutes)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		timed = flag.Bool("time", false, "print wall-clock time per experiment")
+		asCSV = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+	)
+	flag.Parse()
+	bench.CSVMode = *asCSV
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc := bench.Full
+	if *quick {
+		sc = bench.Quick
+	}
+
+	var todo []bench.Experiment
+	switch {
+	case *all:
+		todo = bench.Registry()
+	case *fig != "":
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("# mhabench scale=%s experiments=%d\n", sc, len(todo))
+	for _, e := range todo {
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *timed {
+			fmt.Printf("(%s took %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

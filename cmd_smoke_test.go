@@ -1,0 +1,125 @@
+package mha_test
+
+// End-to-end smoke tests: build every binary once and drive each through
+// a representative invocation, asserting on its observable output.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce sync.Once
+var binDir string
+var buildErr error
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "mha-bins")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			_ = out
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building binaries: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestSmokeMhabenchList(t *testing.T) {
+	out := run(t, "mhabench", "-list")
+	for _, id := range []string{"14b", "17c", "abl-overlap", "ext-numa"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeMhabenchRunsOneFigure(t *testing.T) {
+	out := run(t, "mhabench", "-fig", "3", "-quick")
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "50%") {
+		t.Fatalf("figure 3 output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhatraceTimelineAndChrome(t *testing.T) {
+	out := run(t, "mhatrace", "-nodes", "2", "-ppn", "2")
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "rank") {
+		t.Fatalf("timeline output unexpected:\n%s", out)
+	}
+	tmp := filepath.Join(t.TempDir(), "trace.json")
+	out = run(t, "mhatrace", "-alg", "mha-inter", "-nodes", "2", "-ppn", "2", "-chrome", tmp)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("chrome export output unexpected:\n%s", out)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil || !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Fatalf("chrome trace file bad: %v, %.40q", err, data)
+	}
+}
+
+func TestSmokeMhamodel(t *testing.T) {
+	out := run(t, "mhamodel", "-nodes", "4", "-ppn", "8", "-max", "65536")
+	for _, want := range []string{"cost model", "Eq.1 d", "Eq.7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhamodel output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "mhamodel", "-validate", "9", "-quick")
+	if !strings.Contains(out, "Figure 9") {
+		t.Fatalf("validation output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhaosu(t *testing.T) {
+	out := run(t, "mhaosu", "latency", "-min", "1024", "-max", "4096")
+	if !strings.Contains(out, "latency") || len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("mhaosu latency output unexpected:\n%s", out)
+	}
+	out = run(t, "mhaosu", "allgather", "-nodes", "2", "-ppn", "4", "-lib", "mha",
+		"-min", "4096", "-max", "16384")
+	if !strings.Contains(out, "MHA") {
+		t.Fatalf("mhaosu allgather output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhatuneRoundTrip(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "table.json")
+	run(t, "mhatune", "-nodes", "2", "-ppn", "4", "-o", tmp)
+	out := run(t, "mhatune", "-show", tmp)
+	if !strings.Contains(out, "tuning table for 2 nodes") {
+		t.Fatalf("-show output unexpected:\n%s", out)
+	}
+	out = run(t, "mhatune", "-verify", tmp)
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("-verify output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhaosuMachinePreset(t *testing.T) {
+	out := run(t, "mhaosu", "allgather", "-machine", "thetagpu", "-nodes", "2", "-ppn", "4",
+		"-min", "16384", "-max", "65536")
+	if !strings.Contains(out, "8 HCAs") {
+		t.Fatalf("preset did not apply:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+package mha_test
+
+// Godoc examples for the public API: each is a complete, tested program
+// fragment a user can copy.
+
+import (
+	"fmt"
+
+	"mha"
+)
+
+// The basic pattern: build a world, run one body per rank, call the
+// paper's allgather.
+func ExampleAllgather() {
+	topo := mha.NewCluster(2, 2, 2) // 2 nodes x 2 ranks, 2 HCAs per node
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	err := w.Run(func(p *mha.Proc) {
+		send := mha.Bytes([]byte{byte('a' + p.Rank())})
+		recv := mha.NewBuf(p.Size())
+		mha.Allgather(p, w, send, recv)
+		if p.Rank() == 0 {
+			fmt.Println(string(recv.Data()))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: abcd
+}
+
+// Phantom buffers measure the paper's large configurations without
+// materializing data; virtual time is deterministic.
+func ExampleMeasureAllgather() {
+	topo := mha.NewCluster(4, 8, 2)
+	d1 := mha.MeasureAllgather(topo, mha.Thor(), 64<<10, mha.MHAProfile())
+	d2 := mha.MeasureAllgather(topo, mha.Thor(), 64<<10, mha.MHAProfile())
+	fmt.Println(d1 == d2, d1 < mha.MeasureAllgather(topo, mha.Thor(), 64<<10, mha.HPCXProfile()))
+	// Output: true true
+}
+
+// The Section 4 cost model predicts before simulating.
+func ExampleNewModel() {
+	m := mha.NewModel(mha.Thor(), mha.NewCluster(16, 32, 2))
+	fmt.Printf("offload d at 1MB: %.1f transfers\n", m.OffloadD(1<<20))
+	fmt.Println("ring beats RD at 256KB:", m.RingBetterThanRD(256<<10))
+	// Output:
+	// offload d at 1MB: 3.3 transfers
+	// ring beats RD at 256KB: true
+}
+
+// Allreduce composes the ring reduce-scatter with the MHA allgather.
+func ExampleAllreduce() {
+	topo := mha.NewCluster(2, 2, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	err := w.Run(func(p *mha.Proc) {
+		buf := mha.NewBuf(8 * p.Size()) // one float64 chunk per rank
+		buf.Data()[0] = byte(1)         // rank-distinct low byte
+		mha.Allreduce(p, w, buf, mha.SumF64())
+	})
+	fmt.Println(err == nil)
+	// Output: true
+}

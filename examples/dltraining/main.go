@@ -1,0 +1,44 @@
+// Synthetic data-parallel deep-learning training (the paper's Section
+// 5.6): every step runs modeled forward/backward compute followed by a
+// gradient allreduce, for ResNet-50/101/152 with batch size 16 per rank.
+// Reports images/second for the MVAPICH2-X-style allreduce versus the MHA
+// allreduce, as in the paper's Figure 17.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mha"
+	"mha/internal/apps/dltrain"
+)
+
+func main() {
+	topos := []mha.Cluster{
+		mha.NewCluster(2, 8, 2), mha.NewCluster(4, 8, 2), mha.NewCluster(8, 8, 2),
+	}
+	for _, net := range dltrain.Networks() {
+		fmt.Printf("%s (%.1fM params, %dMB gradients), batch 16/rank:\n",
+			net.Name, float64(net.Params)/1e6, net.GradBytes()>>20)
+		fmt.Printf("  %-8s %18s %18s %12s %10s\n",
+			"ranks", "MVAPICH2-X img/s", "MHA img/s", "improvement", "comm frac")
+		for _, topo := range topos {
+			run := func(p mha.Profile) dltrain.Result {
+				res, err := dltrain.Run(dltrain.Config{
+					Net: net, Topo: topo, Profile: p, Steps: 2,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res
+			}
+			base := run(mha.MVAPICH2XProfile())
+			ours := run(mha.MHAProfile())
+			fmt.Printf("  %-8d %18.1f %18.1f %11.2f%% %9.1f%%\n",
+				topo.Size(), base.ImagesPerSec, ours.ImagesPerSec,
+				(ours.ImagesPerSec/base.ImagesPerSec-1)*100,
+				ours.CommFraction*100)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Offload tuning (the paper's Section 3.1 / Figure 5): sweep the amount
+// of intra-node allgather work offloaded to the idle HCAs, print the
+// U-shaped latency curve, and compare the empirically tuned optimum with
+// the analytic Equation (1). Also demonstrates the phase-2 Ring-vs-RD
+// selection (Figure 8) through the cost model.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"mha"
+)
+
+func main() {
+	prm := mha.Thor()
+	topo := mha.NewCluster(1, 8, 2) // a single node with 8 ranks, 2 rails
+	msg := 4 << 20
+
+	best, curve := mha.TuneOffload(topo, prm, msg, 10)
+	sort.Slice(curve, func(i, j int) bool { return curve[i].D < curve[j].D })
+
+	model := mha.NewModel(prm, topo)
+	fmt.Printf("offload tuning, %v, %d bytes/rank\n", topo, msg)
+	fmt.Printf("analytic Eq.(1) d = %.2f, tuned d = %.2f\n\n", model.OffloadD(msg), best)
+	fmt.Printf("%-10s %14s   (bar = latency)\n", "offload d", "latency")
+	var worst float64
+	for _, pt := range curve {
+		if us := pt.Latency.Micros(); us > worst {
+			worst = us
+		}
+	}
+	for _, pt := range curve {
+		bar := int(pt.Latency.Micros() / worst * 50)
+		marker := ""
+		if pt.D == best {
+			marker = "  <- optimum"
+		}
+		fmt.Printf("%-10.2f %12.1fus   %s%s\n", pt.D, pt.Latency.Micros(),
+			stringOf('#', bar), marker)
+	}
+
+	// Phase-2 selection across sizes (the Figure 8 crossover).
+	fmt.Printf("\nphase-2 algorithm selection on %v:\n", mha.NewCluster(16, 32, 2))
+	inter := mha.NewModel(prm, mha.NewCluster(16, 32, 2))
+	for sz := 256; sz <= 1<<20; sz *= 4 {
+		alg := "recursive doubling"
+		if inter.RingBetterThanRD(sz) {
+			alg = "ring"
+		}
+		fmt.Printf("  %8d bytes/rank -> %s\n", sz, alg)
+	}
+}
+
+func stringOf(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module mha
+
+go 1.22

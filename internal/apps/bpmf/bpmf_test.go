@@ -1,0 +1,106 @@
+package bpmf
+
+import (
+	"testing"
+
+	"mha/internal/collectives"
+	"mha/internal/core"
+	"mha/internal/topology"
+)
+
+func TestAllRanksConvergeIdentically(t *testing.T) {
+	for _, prof := range []collectives.Profile{collectives.HPCX(), collectives.MVAPICH2X(), core.Profile()} {
+		res, err := Run(Config{
+			Users: 64, Items: 32, Latent: 4, Sweeps: 3,
+			Topo:    topology.New(2, 4, 2),
+			Profile: prof,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if res.UserDigest == 0 || res.ItemDigest == 0 {
+			t.Fatalf("%s: empty digests %+v", prof.Name, res)
+		}
+		if res.SweepsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", prof.Name)
+		}
+	}
+}
+
+func TestDigestsIndependentOfLibrary(t *testing.T) {
+	// Different allgather implementations must produce the same data.
+	get := func(prof collectives.Profile) [2]float64 {
+		res, err := Run(Config{
+			Users: 32, Items: 32, Latent: 3, Sweeps: 2,
+			Topo: topology.New(2, 2, 2), Profile: prof,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]float64{res.UserDigest, res.ItemDigest}
+	}
+	a := get(collectives.HPCX())
+	b := get(core.Profile())
+	if a != b {
+		t.Fatalf("digest differs across libraries: %v vs %v", a, b)
+	}
+}
+
+func TestMHASpeedsUpCommBoundTraining(t *testing.T) {
+	run := func(prof collectives.Profile) float64 {
+		res, err := Run(Config{
+			Users: 512 * 64, Items: 512 * 64, Latent: 32, Sweeps: 2,
+			RatingsPerEntity: 5, // light compute: comm-bound
+			Topo:             topology.New(8, 8, 2),
+			Profile:          prof,
+			Phantom:          true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SweepsPerSec
+	}
+	mha := run(core.Profile())
+	hpcx := run(collectives.HPCX())
+	if mha <= hpcx {
+		t.Fatalf("MHA %.2f sweeps/s not faster than HPC-X %.2f", mha, hpcx)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	topo := topology.New(2, 2, 1)
+	bad := []Config{
+		{Users: 0, Items: 4, Latent: 2, Topo: topo},
+		{Users: 4, Items: 0, Latent: 2, Topo: topo},
+		{Users: 4, Items: 4, Latent: 0, Topo: topo},
+		{Users: 5, Items: 4, Latent: 2, Topo: topo}, // indivisible
+		{Users: 4, Items: 4, Latent: 2, Topo: topo, Sweeps: -1},
+	}
+	for i, cfg := range bad {
+		cfg.Profile = collectives.HPCX()
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestMoreSweepsTakeLonger(t *testing.T) {
+	base := Config{
+		Users: 64, Items: 64, Latent: 4,
+		Topo: topology.New(2, 2, 2), Profile: core.Profile(), Phantom: true,
+	}
+	base.Sweeps = 1
+	one, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Sweeps = 4
+	four, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(four.Elapsed) / float64(one.Elapsed)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4 sweeps took %.2fx one sweep", ratio)
+	}
+}

@@ -1,0 +1,140 @@
+package dltrain
+
+import (
+	"testing"
+
+	"mha/internal/collectives"
+	"mha/internal/core"
+	"mha/internal/topology"
+)
+
+func TestNetworksMatchPaper(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 3 {
+		t.Fatalf("want 3 networks, got %d", len(nets))
+	}
+	wantParams := []int{25_600_000, 44_700_000, 60_400_000}
+	for i, n := range nets {
+		if n.Params != wantParams[i] {
+			t.Fatalf("%s params = %d, want %d", n.Name, n.Params, wantParams[i])
+		}
+		if n.GradBytes() != n.Params*4 {
+			t.Fatalf("%s grad bytes wrong", n.Name)
+		}
+		if n.StepCompute <= 0 {
+			t.Fatalf("%s has no compute cost", n.Name)
+		}
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	res, err := Run(Config{
+		Net:     ResNet50(),
+		Topo:    topology.New(2, 4, 2),
+		Profile: core.Profile(),
+		Steps:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImagesPerSec <= 0 || res.StepTime <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.CommFraction <= 0 || res.CommFraction >= 1 {
+		t.Fatalf("comm fraction %v out of range", res.CommFraction)
+	}
+}
+
+func TestMHAImprovesThroughput(t *testing.T) {
+	// Figure 17 behavior: the MHA allreduce gives a single-digit
+	// percentage end-to-end improvement.
+	run := func(prof collectives.Profile) float64 {
+		res, err := Run(Config{
+			Net:     ResNet50(),
+			Topo:    topology.New(8, 8, 2),
+			Profile: prof,
+			Steps:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ImagesPerSec
+	}
+	mha := run(core.Profile())
+	mvp := run(collectives.MVAPICH2X())
+	imp := (mha - mvp) / mvp
+	if imp <= 0 {
+		t.Fatalf("MHA (%.1f img/s) not faster than MVAPICH2-X (%.1f img/s)", mha, mvp)
+	}
+	if imp > 0.30 {
+		t.Fatalf("improvement %.0f%% implausibly large for an end-to-end metric", imp*100)
+	}
+}
+
+func TestThroughputScalesWithRanks(t *testing.T) {
+	run := func(nodes int) float64 {
+		res, err := Run(Config{
+			Net:     ResNet101(),
+			Topo:    topology.New(nodes, 4, 2),
+			Profile: core.Profile(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ImagesPerSec
+	}
+	small, large := run(2), run(4)
+	if large <= small {
+		t.Fatalf("throughput did not scale: %v -> %v img/s", small, large)
+	}
+	// Slightly superlinear is possible (the 2-node hierarchical allgather
+	// degenerates to a single unpipelined block), but not more than a few
+	// percent.
+	if large >= 2.1*small {
+		t.Fatalf("superlinear scaling %v -> %v img/s is suspicious", small, large)
+	}
+}
+
+func TestLargerNetworksSlowerSteps(t *testing.T) {
+	var prev float64
+	for _, net := range Networks() {
+		res, err := Run(Config{
+			Net:     net,
+			Topo:    topology.New(2, 4, 2),
+			Profile: core.Profile(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := res.StepTime.Seconds(); s <= prev {
+			t.Fatalf("%s step %.3fs not slower than previous %.3fs", net.Name, s, prev)
+		} else {
+			prev = s
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Run(Config{
+		Net:     ResNet50(),
+		Topo:    topology.New(1, 2, 1),
+		Profile: collectives.HPCX(),
+		// BatchPerRank and Steps left zero: defaults 16 and 1.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImagesPerSec <= 0 {
+		t.Fatal("defaults produced no throughput")
+	}
+}
+
+func TestInvalidNetworkRejected(t *testing.T) {
+	if _, err := Run(Config{
+		Net:     Network{Name: "broken"},
+		Topo:    topology.New(1, 2, 1),
+		Profile: collectives.HPCX(),
+	}); err == nil {
+		t.Fatal("invalid network should error")
+	}
+}

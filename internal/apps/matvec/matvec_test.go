@@ -1,0 +1,132 @@
+package matvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mha/internal/collectives"
+	"mha/internal/core"
+	"mha/internal/topology"
+)
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, prof := range []collectives.Profile{collectives.HPCX(), collectives.MVAPICH2X(), core.Profile()} {
+		cfg := Config{
+			Rows: 16, Cols: 32,
+			Topo:    topology.New(2, 4, 2),
+			Profile: prof,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Sequential(16, 32)
+		for i := range want {
+			if math.Abs(res.Y[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: y[%d] = %v, want %v", prof.Name, i, res.Y[i], want[i])
+			}
+		}
+		if res.GFLOPS <= 0 || res.Elapsed <= 0 {
+			t.Fatalf("%s: degenerate result %+v", prof.Name, res)
+		}
+	}
+}
+
+func TestMHABeatsBaselinesWhenCommBound(t *testing.T) {
+	// The Figure 16 regime: long rows make the allgather dominate.
+	mk := func(prof collectives.Profile) float64 {
+		res, err := Run(Config{
+			Rows: 1024, Cols: 64 * 1024,
+			Topo:    topology.New(8, 8, 2),
+			Profile: prof,
+			Phantom: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFLOPS
+	}
+	mha := mk(core.Profile())
+	hpcx := mk(collectives.HPCX())
+	mvp := mk(collectives.MVAPICH2X())
+	if mha <= hpcx || mha <= mvp {
+		t.Fatalf("MHA %.2f GFLOPS not best (hpcx %.2f, mvp %.2f)", mha, hpcx, mvp)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	topo := topology.New(2, 2, 1)
+	cases := []Config{
+		{Rows: 0, Cols: 8, Topo: topo},
+		{Rows: 8, Cols: 0, Topo: topo},
+		{Rows: 7, Cols: 8, Topo: topo},  // rows not divisible
+		{Rows: 8, Cols: 10, Topo: topo}, // cols not divisible
+		{Rows: 8, Cols: 8, Topo: topo, Iterations: -1},
+	}
+	for i, cfg := range cases {
+		cfg.Profile = collectives.HPCX()
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestIterationsScaleElapsed(t *testing.T) {
+	base := Config{
+		Rows: 64, Cols: 128,
+		Topo:    topology.New(2, 2, 2),
+		Profile: collectives.HPCX(),
+		Phantom: true,
+	}
+	one, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Iterations = 3
+	three, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(three.Elapsed) / float64(one.Elapsed)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("3 iterations took %.2fx one iteration", ratio)
+	}
+	// GFLOPS should be roughly iteration-independent.
+	if d := three.GFLOPS / one.GFLOPS; d < 0.8 || d > 1.2 {
+		t.Fatalf("GFLOPS changed %.2fx with iterations", d)
+	}
+}
+
+// Property: the deterministic matrix/vector generators stay in [0, 1).
+func TestQuickGenerators(t *testing.T) {
+	f := func(i, j uint16) bool {
+		a := A(int(i), int(j))
+		x := X(int(j))
+		return a >= 0 && a < 1 && x >= 0 && x < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeakScalingImprovesThroughput(t *testing.T) {
+	// More ranks on a proportionally larger problem should raise GFLOPS.
+	small, err := Run(Config{
+		Rows: 1024, Cols: 8192,
+		Topo: topology.New(2, 4, 2), Profile: core.Profile(), Phantom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(Config{
+		Rows: 1024, Cols: 16384,
+		Topo: topology.New(4, 4, 2), Profile: core.Profile(), Phantom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.GFLOPS <= small.GFLOPS {
+		t.Fatalf("weak scaling regressed: %v -> %v GFLOPS", small.GFLOPS, large.GFLOPS)
+	}
+}

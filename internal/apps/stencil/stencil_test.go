@@ -1,0 +1,107 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mha/internal/topology"
+)
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, s := range []struct{ nodes, ppn int }{{1, 4}, {2, 2}, {2, 4}, {4, 2}} {
+		cfg := Config{
+			Points: 64, Iterations: 10, Alpha: 0.25,
+			Topo: topology.New(s.nodes, s.ppn, 2),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", s.nodes, s.ppn, err)
+		}
+		want := Sequential(cfg)
+		for i := range want {
+			if math.Abs(res.Grid[i]-want[i]) > 1e-12 {
+				t.Fatalf("%dx%d: grid[%d] = %v, want %v", s.nodes, s.ppn, i, res.Grid[i], want[i])
+			}
+		}
+		if res.PointsPerSec <= 0 {
+			t.Fatal("no throughput")
+		}
+	}
+}
+
+func TestHeatDiffuses(t *testing.T) {
+	cfg := Config{Points: 32, Iterations: 50, Alpha: 0.25, Topo: topology.New(2, 2, 1)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sine bump must decay but stay positive in the interior.
+	mid := res.Grid[16]
+	if mid <= 0 || mid >= Initial(16, 32) {
+		t.Fatalf("midpoint %v did not decay from %v", mid, Initial(16, 32))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	topo := topology.New(2, 2, 1)
+	bad := []Config{
+		{Points: 0, Iterations: 1, Alpha: 0.2, Topo: topo},
+		{Points: 30, Iterations: 1, Alpha: 0.2, Topo: topo},  // not divisible
+		{Points: 4, Iterations: 1, Alpha: 0.2, Topo: topo},   // 1 point/rank
+		{Points: 32, Iterations: 0, Alpha: 0.2, Topo: topo},  // no iterations
+		{Points: 32, Iterations: 1, Alpha: 0.9, Topo: topo},  // unstable alpha
+		{Points: 32, Iterations: 1, Alpha: -0.1, Topo: topo}, // negative alpha
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPhantomModeTimesOnly(t *testing.T) {
+	res, err := Run(Config{
+		Points: 1 << 16, Iterations: 5, Alpha: 0.25,
+		Topo: topology.New(4, 4, 2), Phantom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grid != nil {
+		t.Fatal("phantom run should not materialize the grid")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+// Property: the distributed grid equals the sequential one for random
+// shapes and iteration counts.
+func TestQuickStencilCorrect(t *testing.T) {
+	f := func(nodes, ppn, iters uint8) bool {
+		nd := int(nodes)%3 + 1
+		l := int(ppn)%3 + 1
+		p := nd * l
+		cfg := Config{
+			Points:     p * 8,
+			Iterations: int(iters)%8 + 1,
+			Alpha:      0.2,
+			Topo:       topology.New(nd, l, 1),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		want := Sequential(cfg)
+		for i := range want {
+			if math.Abs(res.Grid[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"mha/internal/core"
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// The simulator is deterministic, so key figures can be pinned exactly.
+// These golden values are regression anchors: they change only when the
+// calibration (internal/netmodel) or an algorithm's communication schedule
+// changes, and any such change should be deliberate and re-recorded in
+// EXPERIMENTS.md.
+func TestGoldenPtPtLatencies(t *testing.T) {
+	prm := netmodel.Thor()
+	cases := []struct {
+		name  string
+		topo  topology.Cluster
+		bytes int
+		want  sim.Duration
+	}{
+		// 4 MiB over one rail: 3us startup (alpha+rendezvous) + 4MiB/12.4GB/s.
+		{"4MB-1rail", topology.New(2, 1, 1), 4 << 20, sim.FromMicros(341.251)},
+		// Striped over two rails: half the bytes per rail.
+		{"4MB-2rails", topology.New(2, 1, 2), 4 << 20, sim.FromMicros(172.125)},
+		// Below the striping threshold: single rail, no rendezvous.
+		{"8KB", topology.New(2, 1, 2), 8 << 10, sim.FromMicros(2.561)},
+		// Intra-node CMA.
+		{"1MB-cma", topology.New(1, 2, 1), 1 << 20, sim.FromMicros(87.979)},
+	}
+	for _, c := range cases {
+		got := PtPtLatency(c.topo, prm, c.bytes)
+		if diff := got - c.want; diff > 5 || diff < -5 { // 5ns rounding slack
+			t.Errorf("%s: latency %v, golden %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGoldenAllgatherLatencies(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.New(4, 8, 2)
+	m := 64 << 10
+	profs := Profiles()
+	want := []sim.Duration{
+		sim.FromMicros(190.714), // HPC-X (flat ring)
+		sim.FromMicros(220.003), // MVAPICH2-X (Kandalla two-level)
+		sim.FromMicros(156.029), // MHA
+	}
+	for i, prof := range profs {
+		got := AllgatherLatency(topo, prm, m, prof)
+		if diff := got - want[i]; diff > 100 || diff < -100 { // 0.1us slack
+			t.Errorf("%s: latency %v, golden %v", prof.Name, got, want[i])
+		}
+	}
+}
+
+func TestGoldenDeterminismAcrossRuns(t *testing.T) {
+	// Three identical measurements must agree to the nanosecond.
+	prm := netmodel.Thor()
+	topo := topology.New(4, 8, 2)
+	first := core.MeasureInter(topo, prm, 32<<10, core.InterConfig{})
+	for i := 0; i < 2; i++ {
+		if again := core.MeasureInter(topo, prm, 32<<10, core.InterConfig{}); again != first {
+			t.Fatalf("run %d: %v != %v", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import "mha/internal/topology"
+
+// Scale selects how big the experiment topologies are. Full reproduces the
+// paper's exact shapes (up to 32 nodes x 32 PPN = 1024 simulated ranks);
+// Quick shrinks nodes and PPN by 4x each so the whole suite runs in
+// seconds, preserving every qualitative shape (who wins, crossovers,
+// scaling trends) at reduced magnitude.
+type Scale int
+
+const (
+	// Quick is the CI-friendly reduction.
+	Quick Scale = iota
+	// Full is the paper's scale.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+func shrink(v, factor, min int) int {
+	v /= factor
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Cluster maps a paper topology to the scale's topology. Quick keeps at
+// least 4 nodes: a 2-node hierarchy is degenerate (a single inter-leader
+// step, nothing to pipeline) and would misrepresent every multi-node
+// figure.
+func (s Scale) Cluster(nodes, ppn, hcas int) topology.Cluster {
+	if s == Quick {
+		nodes = shrink(nodes, 4, 4)
+		ppn = shrink(ppn, 4, 2)
+	}
+	return topology.New(nodes, ppn, hcas)
+}
+
+// IntraCluster maps a single-node topology (Figure 11): PPN is part of the
+// figure's identity, so only very large per-rank sizes shrink, not PPN.
+func (s Scale) IntraCluster(ppn, hcas int) topology.Cluster {
+	return topology.New(1, ppn, hcas)
+}
+
+// Sizes thins a message-size sweep for Quick runs (first, middle, last).
+func (s Scale) Sizes(sizes []int) []int {
+	if s == Full || len(sizes) <= 3 {
+		return sizes
+	}
+	return []int{sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]}
+}
+
+// geometric returns the sizes from lo to hi inclusive, doubling.
+func geometric(lo, hi int) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mha/internal/core"
+	"mha/internal/netmodel"
+	"mha/internal/perfmodel"
+	"mha/internal/topology"
+)
+
+// ValidationPoint is one (shape, size) comparison of the analytic model
+// against the simulator.
+type ValidationPoint struct {
+	Topo      topology.Cluster
+	Bytes     int
+	ActualUS  float64
+	PredictUS float64
+}
+
+// Ratio returns actual/predicted.
+func (v ValidationPoint) Ratio() float64 { return v.ActualUS / v.PredictUS }
+
+// GridValidation sweeps the cross product of shapes and sizes, comparing
+// the simulator against the Section 4 cost model (MHA-inter with the
+// tuned phase-2 algorithm on both sides). It generalizes the paper's
+// Figures 9 and 10 from two curves to the whole parameter space.
+func GridValidation(prm *netmodel.Params, shapes []topology.Cluster, sizes []int) []ValidationPoint {
+	var out []ValidationPoint
+	for _, topo := range shapes {
+		pm := perfmodel.New(prm, topo)
+		for _, m := range sizes {
+			var actual, predicted float64
+			if topo.Nodes == 1 {
+				actual = core.MeasureIntra(topo, prm, m, core.AutoOffload).Micros()
+				predicted = pm.MHAIntra(m).Micros()
+			} else {
+				actual = core.MeasureInter(topo, prm, m, core.InterConfig{}).Micros()
+				p := pm.MHAInterRing(m)
+				if rd := pm.MHAInterRD(m); rd < p {
+					p = rd
+				}
+				predicted = p.Micros()
+			}
+			out = append(out, ValidationPoint{Topo: topo, Bytes: m, ActualUS: actual, PredictUS: predicted})
+		}
+	}
+	return out
+}
+
+// ValidationSummary aggregates a grid into fidelity statistics.
+type ValidationSummary struct {
+	Points int
+	// GeoMeanRatio is the geometric mean of actual/predicted (1 = perfect
+	// on average; the right mean for ratios).
+	GeoMeanRatio float64
+	// WorstRatio is the ratio farthest from 1 in either direction.
+	WorstRatio float64
+	// Within25 and Within50 count points whose ratio lies within 25%/50%
+	// of 1.
+	Within25, Within50 int
+}
+
+// Summarize computes the grid's fidelity statistics.
+func SummarizeValidation(pts []ValidationPoint) ValidationSummary {
+	s := ValidationSummary{Points: len(pts), WorstRatio: 1}
+	if len(pts) == 0 {
+		return s
+	}
+	logSum := 0.0
+	for _, p := range pts {
+		r := p.Ratio()
+		logSum += math.Log(r)
+		if math.Abs(math.Log(r)) > math.Abs(math.Log(s.WorstRatio)) {
+			s.WorstRatio = r
+		}
+		if r >= 0.8 && r <= 1.25 {
+			s.Within25++
+		}
+		if r >= 2.0/3.0 && r <= 1.5 {
+			s.Within50++
+		}
+	}
+	s.GeoMeanRatio = math.Exp(logSum / float64(len(pts)))
+	return s
+}
+
+// runExtValidate is the ext-validate experiment: a model-fidelity report
+// over a grid of shapes and sizes.
+func runExtValidate(w io.Writer, sc Scale) error {
+	prm := netmodel.Thor()
+	shapes := []topology.Cluster{
+		topology.New(1, 4, 2), topology.New(1, 16, 2),
+		topology.New(4, 8, 2), topology.New(8, 16, 2),
+	}
+	if sc == Full {
+		shapes = append(shapes, topology.New(8, 32, 2), topology.New(16, 32, 2))
+	}
+	sizes := sc.Sizes(geometric(4<<10, 1<<20))
+	pts := GridValidation(prm, shapes, sizes)
+	t := NewTable("Extension: model-fidelity grid (Figures 9-10 generalized)",
+		"shape", "size", "actual (us)", "predicted (us)", "ratio")
+	for _, p := range pts {
+		t.Add(p.Topo.String(), SizeLabel(p.Bytes), p.ActualUS, p.PredictUS,
+			fmt.Sprintf("%.2f", p.Ratio()))
+	}
+	s := SummarizeValidation(pts)
+	t.Notes = fmt.Sprintf("%d points; geometric-mean ratio %.2f; worst %.2f; %d/%d within 25%%, %d/%d within 50%%",
+		s.Points, s.GeoMeanRatio, s.WorstRatio, s.Within25, s.Points, s.Within50, s.Points)
+	return t.Fprint(w)
+}
+
+func init() {
+	register("ext-validate", "extension: model-fidelity grid across shapes and sizes", runExtValidate)
+}

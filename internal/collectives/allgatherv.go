@@ -1,0 +1,107 @@
+package collectives
+
+import (
+	"fmt"
+
+	"mha/internal/mpi"
+)
+
+const (
+	phaseAGV = 21 + iota
+	phaseBarrier
+	phaseScan
+)
+
+// vOffsets returns the receive-buffer offset of each rank's block and the
+// total size for variable counts.
+func vOffsets(counts []int) (offs []int, total int) {
+	offs = make([]int, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("collectives: negative count %d for rank %d", c, i))
+		}
+		offs[i] = total
+		total += c
+	}
+	return offs, total
+}
+
+// RingAllgatherv is MPI_Allgatherv with the ring algorithm: rank i
+// contributes counts[i] bytes and every rank ends with the concatenation
+// in comm-rank order. send must have counts[rank] bytes and recv the sum.
+func RingAllgatherv(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf, counts []int) {
+	n := c.Size()
+	if len(counts) != n {
+		panic(fmt.Sprintf("collectives: %d counts for %d ranks", len(counts), n))
+	}
+	me := c.Rank(p)
+	if send.Len() != counts[me] {
+		panic(fmt.Sprintf("collectives: rank %d sends %dB, counts say %dB", me, send.Len(), counts[me]))
+	}
+	offs, total := vOffsets(counts)
+	if recv.Len() != total {
+		panic(fmt.Sprintf("collectives: recv %dB, counts sum to %dB", recv.Len(), total))
+	}
+	epoch := c.Epoch(p)
+	p.LocalCopy(recv.Slice(offs[me], counts[me]), send)
+	if n == 1 {
+		return
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	for s := 0; s < n-1; s++ {
+		tag := mpi.Tag(epoch, phaseAGV, s)
+		rreq := p.Irecv(c, left, tag)
+		sreq := p.Isend(c, right, tag, recv.Slice(offs[cur], counts[cur]))
+		data := p.Wait(rreq)
+		cur = (cur - 1 + n) % n
+		recv.Slice(offs[cur], counts[cur]).CopyFrom(data)
+		p.Wait(sreq)
+	}
+}
+
+// DisseminationBarrier is the log2(N)-round dissemination barrier over
+// zero-byte messages — unlike Comm.Barrier (a free synchronization fence
+// for test orchestration), its cost is modeled, so it can appear inside
+// timed regions.
+func DisseminationBarrier(p *mpi.Proc, c *mpi.Comm) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.Rank(p)
+	epoch := c.Epoch(p)
+	for dist, round := 1, 0; dist < n; dist, round = dist*2, round+1 {
+		dst := (me + dist) % n
+		src := (me - dist + n) % n
+		tag := mpi.Tag(epoch, phaseBarrier, round)
+		sreq := p.Isend(c, dst, tag, mpi.Phantom(0))
+		p.Wait(p.Irecv(c, src, tag))
+		p.Wait(sreq)
+	}
+}
+
+// InclusiveScan computes, at each rank r, the reduction of ranks 0..r's
+// buffers (in place), with the log-round doubling-distance algorithm.
+// Note the combine order is commutative-only (Float64Sum qualifies).
+func InclusiveScan(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, red Reducer) {
+	n := c.Size()
+	me := c.Rank(p)
+	epoch := c.Epoch(p)
+	for dist, round := 1, 0; dist < n; dist, round = dist*2, round+1 {
+		tag := mpi.Tag(epoch, phaseScan, round)
+		var sreq *mpi.Request
+		if me+dist < n {
+			sreq = p.Isend(c, me+dist, tag, buf)
+		}
+		if me-dist >= 0 {
+			got := p.Wait(p.Irecv(c, me-dist, tag))
+			red.Reduce(buf, got)
+			p.Compute(red.Cost(buf.Len()))
+		}
+		if sreq != nil {
+			p.Wait(sreq)
+		}
+	}
+}

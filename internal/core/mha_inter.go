@@ -1,0 +1,118 @@
+package core
+
+import (
+	"mha/internal/collectives"
+	"mha/internal/mpi"
+	"mha/internal/perfmodel"
+)
+
+// InterConfig customizes the hierarchical MHA allgather.
+type InterConfig struct {
+	// LeaderAlg fixes the phase-2 algorithm; leave as AutoLeaderAlg to let
+	// the cost model pick per message size (the paper's "tuned numbers
+	// between these two algorithms").
+	LeaderAlg LeaderChoice
+	// NoOverlap disables the phase-2/3 overlap (ablation only).
+	NoOverlap bool
+	// PlainPhase1 replaces the MHA-intra phase 1 with a plain gather to
+	// the leader (ablation only).
+	PlainPhase1 bool
+}
+
+// LeaderChoice selects phase 2's inter-leader algorithm.
+type LeaderChoice int
+
+const (
+	// AutoLeaderAlg picks Ring or RD per message size from the model.
+	AutoLeaderAlg LeaderChoice = iota
+	// ForceRing always uses Ring.
+	ForceRing
+	// ForceRD always uses Recursive Doubling.
+	ForceRD
+)
+
+func (l LeaderChoice) String() string {
+	switch l {
+	case AutoLeaderAlg:
+		return "auto"
+	case ForceRing:
+		return "ring"
+	case ForceRD:
+		return "rd"
+	default:
+		return "?"
+	}
+}
+
+// MHAInterAllgather is the hierarchical multi-HCA-aware allgather of
+// Section 3.2 with the default configuration: MHA-intra phase 1, model-
+// selected phase-2 algorithm, overlapped phase 3.
+func MHAInterAllgather(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	MHAInterAllgatherCfg(p, w, send, recv, InterConfig{})
+}
+
+// RingBetter reports whether the cost model prefers Ring over RD for the
+// phase-2 exchange of per-rank messages of n bytes on w's topology.
+func RingBetter(w *mpi.World, n int) bool {
+	return perfmodel.New(w.Params(), w.Topo()).RingBetterThanRD(n)
+}
+
+// MHAInterAllgatherCfg is MHAInterAllgather with explicit configuration.
+func MHAInterAllgatherCfg(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf, cfg InterConfig) {
+	alg := collectives.LeaderRing
+	switch cfg.LeaderAlg {
+	case ForceRD:
+		alg = collectives.LeaderRD
+	case AutoLeaderAlg:
+		if !RingBetter(w, send.Len()) {
+			alg = collectives.LeaderRD
+		}
+	}
+	hc := collectives.HierarchicalConfig{
+		LeaderAlg: alg,
+		Overlap:   !cfg.NoOverlap,
+	}
+	if !cfg.PlainPhase1 {
+		hc.NodeAllgather = NodeAllgather
+	}
+	collectives.HierarchicalAllgather(p, w, send, recv, hc)
+}
+
+// MHAAllgather is the top-level MHA collective: pure intra-node jobs run
+// MHA-intra, multi-node jobs run the hierarchical design. This is the
+// entry point the evaluation benchmarks as "MHA".
+func MHAAllgather(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	if w.Topo().Nodes == 1 {
+		MHAIntraAllgather(p, w.CommWorld(), send, recv)
+		return
+	}
+	MHAInterAllgather(p, w, send, recv)
+}
+
+// MHAAllreduce is the improved ring allreduce of Section 5.4: the ring
+// reduce-scatter followed by the MHA allgather of the reduced chunks. The
+// buffer must be a multiple of 8*size bytes (pad gradients up; the
+// benchmark harness and the DL application both do).
+func MHAAllreduce(p *mpi.Proc, w *mpi.World, buf mpi.Buf, red collectives.Reducer) {
+	collectives.AllreduceViaAllgather(p, w.CommWorld(), buf, red,
+		func(p *mpi.Proc, send, recv mpi.Buf) {
+			MHAAllgather(p, w, send, recv)
+		})
+}
+
+// Profile packages the MHA collectives in the same shape as the library
+// profiles in internal/collectives, for side-by-side benchmarking.
+func Profile() collectives.Profile {
+	return collectives.Profile{
+		Name:      "MHA",
+		Allgather: MHAAllgather,
+		Allreduce: func(p *mpi.Proc, w *mpi.World, buf mpi.Buf, red collectives.Reducer) {
+			if buf.Len()%(8*w.Topo().Size()) == 0 {
+				MHAAllreduce(p, w, buf, red)
+				return
+			}
+			// Non-uniform chunking: fall back to the classic ring.
+			collectives.RingAllreduce(p, w.CommWorld(), buf, red)
+		},
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+// The paper's future work ("we plan to address other collectives"): the
+// same three-phase hierarchical, multi-rail-aware template applied to
+// Bcast, Reduce, Gather, Scatter and Alltoall. Each follows the MHA-inter
+// recipe — single leader per node, inter-leader traffic striped across
+// every rail, node-level distribution through shared-memory chunk
+// counters overlapped with the network phase — and each is verified
+// against its flat baseline's oracle in the tests.
+
+import (
+	"fmt"
+
+	"mha/internal/collectives"
+	"mha/internal/mpi"
+)
+
+const (
+	phaseMBcast = 24 + iota
+	phaseMReduce
+	phaseMGather
+	phaseMScatter
+	phaseMA2A
+)
+
+// bcastChunk is the pipeline granularity of the shared-memory broadcast
+// stage: small enough to overlap, large enough to amortize alpha_L.
+const bcastChunk = 256 << 10
+
+// MHABcast broadcasts root's buffer with the hierarchical template:
+// root -> its node leader, binomial tree over node leaders (striped over
+// all rails), and a chunked shared-memory pipeline inside every node so
+// peers start copying while later chunks are still arriving at the NICs
+// of other leaders.
+func MHABcast(p *mpi.Proc, w *mpi.World, root int, buf mpi.Buf) {
+	topo := w.Topo()
+	c := w.CommWorld()
+	epoch := c.Epoch(p)
+	me := p.Rank()
+	rootNode := topo.NodeOf(root)
+	n := buf.Len()
+
+	// Phase A: move the payload from root to its node's leader.
+	if me == root && !p.IsLeader() {
+		p.Send(c, topo.LeaderOf(rootNode), mpi.Tag(epoch, phaseMBcast, 1<<12), buf)
+	}
+	if p.IsLeader() && p.Node() == rootNode && me != root {
+		got := p.Recv(c, root, mpi.Tag(epoch, phaseMBcast, 1<<12))
+		buf.CopyFrom(got)
+	}
+
+	// Phase B: binomial broadcast over the leaders (world ranks of local 0).
+	if p.IsLeader() && topo.Nodes > 1 {
+		collectives.BinomialBcast(p, w.LeaderComm(), rootNode, buf)
+	}
+
+	// Phase C: chunked shared-memory distribution within each node.
+	if topo.PPN == 1 {
+		return
+	}
+	shm := p.ShmOpen(fmt.Sprintf("mha-bcast-%d", epoch), n)
+	avail := shm.Counter("chunks")
+	chunks := (n + bcastChunk - 1) / bcastChunk
+	if p.IsLeader() {
+		for k := 0; k < chunks; k++ {
+			off := k * bcastChunk
+			ln := min(bcastChunk, n-off)
+			shm.CopyIn(p, off, buf.Slice(off, ln))
+			avail.Add(1)
+		}
+		return
+	}
+	if me == root {
+		return // root already holds the data
+	}
+	for k := 0; k < chunks; k++ {
+		shm.WaitCounter(p, "chunks", int64(k+1))
+		off := k * bcastChunk
+		ln := min(bcastChunk, n-off)
+		shm.CopyOut(p, off, buf.Slice(off, ln))
+	}
+}
+
+// MHAReduce reduces every rank's buffer into root's: an intra-node
+// binomial reduce over CMA first (so only one rank per node talks to the
+// network), then a binomial reduce over the leaders with every message
+// striped across the rails, then leader -> root if root is not a leader.
+func MHAReduce(p *mpi.Proc, w *mpi.World, root int, buf mpi.Buf, red collectives.Reducer) {
+	topo := w.Topo()
+	c := w.CommWorld()
+	epoch := c.Epoch(p)
+	rootNode := topo.NodeOf(root)
+
+	// Phase A: node-level reduction to the node leader.
+	collectives.BinomialReduce(p, w.NodeComm(p.Node()), 0, buf, red)
+
+	// Phase B: inter-leader reduction to the root's node leader.
+	if p.IsLeader() && topo.Nodes > 1 {
+		collectives.BinomialReduce(p, w.LeaderComm(), rootNode, buf, red)
+	}
+
+	// Phase C: hand the result to root if it is not its node's leader.
+	if !topo.IsLeader(root) {
+		lead := topo.LeaderOf(rootNode)
+		if p.Rank() == lead {
+			p.Send(c, root, mpi.Tag(epoch, phaseMReduce, 1<<12), buf)
+		}
+		if p.Rank() == root {
+			got := p.Recv(c, lead, mpi.Tag(epoch, phaseMReduce, 1<<12))
+			buf.CopyFrom(got)
+		}
+	}
+}
+
+// MHAGather collects every rank's m-byte block at root in world-rank
+// order: node-level gather to each leader (leader-driven CMA pulls), then
+// each leader ships its whole node block to root in one striped transfer,
+// N-1 messages instead of N*L-1.
+func MHAGather(p *mpi.Proc, w *mpi.World, root int, send, recv mpi.Buf) {
+	topo := w.Topo()
+	c := w.CommWorld()
+	epoch := c.Epoch(p)
+	m := send.Len()
+	L := topo.PPN
+	B := L * m
+	rootNode := topo.NodeOf(root)
+	me := p.Rank()
+
+	if me == root && recv.Len() != m*topo.Size() {
+		panic(fmt.Sprintf("core: gather recv %dB != %d x %dB", recv.Len(), topo.Size(), m))
+	}
+
+	// Phase A: node-level gather into the leader's staging block. On the
+	// root's node the staging area is root's receive buffer directly.
+	var nodeBlock mpi.Buf
+	if p.IsLeader() {
+		nodeBlock = mpi.Make(B, send.IsPhantom())
+	}
+	collectives.GatherToLeader(p, w.NodeComm(p.Node()), send, nodeBlock)
+
+	// Phase B: leaders ship node blocks to root.
+	if p.IsLeader() && p.Node() != rootNode {
+		p.Send(c, root, mpi.Tag(epoch, phaseMGather, p.Node()), nodeBlock)
+	}
+	if me == root {
+		// Own node's block.
+		var own mpi.Buf
+		if p.IsLeader() {
+			own = nodeBlock
+		} else {
+			own = p.Recv(c, topo.LeaderOf(rootNode), mpi.Tag(epoch, phaseMGather, 1<<12))
+		}
+		recv.Slice(rootNode*B, B).CopyFrom(own)
+		for nd := 0; nd < topo.Nodes; nd++ {
+			if nd == rootNode {
+				continue
+			}
+			got := p.Recv(c, topo.LeaderOf(nd), mpi.Tag(epoch, phaseMGather, nd))
+			recv.Slice(nd*B, B).CopyFrom(got)
+		}
+	}
+	if p.IsLeader() && p.Node() == rootNode && me != root {
+		p.Send(c, root, mpi.Tag(epoch, phaseMGather, 1<<12), nodeBlock)
+	}
+}
+
+// MHAScatter distributes root's per-rank blocks: root ships one striped
+// node block to each leader, and leaders fan out through shared memory
+// with availability counters.
+func MHAScatter(p *mpi.Proc, w *mpi.World, root int, send, recv mpi.Buf) {
+	topo := w.Topo()
+	c := w.CommWorld()
+	epoch := c.Epoch(p)
+	m := recv.Len()
+	L := topo.PPN
+	B := L * m
+	me := p.Rank()
+	rootNode := topo.NodeOf(root)
+
+	if me == root {
+		if send.Len() != m*topo.Size() {
+			panic(fmt.Sprintf("core: scatter send %dB != %d x %dB", send.Len(), topo.Size(), m))
+		}
+		for nd := 0; nd < topo.Nodes; nd++ {
+			dst := topo.LeaderOf(nd)
+			blk := send.Slice(nd*B, B)
+			if nd == rootNode {
+				if p.IsLeader() {
+					continue // handled below via shm
+				}
+				p.Send(c, dst, mpi.Tag(epoch, phaseMScatter, nd), blk)
+				continue
+			}
+			p.Send(c, dst, mpi.Tag(epoch, phaseMScatter, nd), blk)
+		}
+	}
+
+	if L == 1 {
+		// Every rank is a leader; just receive the block.
+		if me != root {
+			got := p.Recv(c, root, mpi.Tag(epoch, phaseMScatter, p.Node()))
+			recv.CopyFrom(got)
+		} else {
+			p.LocalCopy(recv, send.Slice(rootNode*B, m))
+		}
+		return
+	}
+
+	shm := p.ShmOpen(fmt.Sprintf("mha-scatter-%d", epoch), B)
+	avail := shm.Counter("block")
+	if p.IsLeader() {
+		var blk mpi.Buf
+		if me == root {
+			blk = send.Slice(rootNode*B, B)
+		} else {
+			blk = p.Recv(c, root, mpi.Tag(epoch, phaseMScatter, p.Node()))
+		}
+		shm.CopyIn(p, 0, blk)
+		avail.Add(1)
+	}
+	shm.WaitCounter(p, "block", 1)
+	shm.CopyOut(p, p.Local()*m, recv)
+}
+
+// MHAAlltoall is the hierarchical alltoall: ranks stage their slices into
+// a per-destination-node shared region, leaders exchange L*L-sized node-
+// pair blocks pairwise with striping, and arriving blocks stream out to
+// the destination ranks through availability counters, overlapped with
+// the remaining exchanges. send and recv hold one m-byte block per world
+// rank.
+func MHAAlltoall(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	topo := w.Topo()
+	c := w.CommWorld()
+	if send.Len() != recv.Len() || send.Len()%topo.Size() != 0 {
+		panic("core: alltoall needs equal send/recv of one block per rank")
+	}
+	epoch := c.Epoch(p)
+	m := send.Len() / topo.Size()
+	L := topo.PPN
+	N := topo.Nodes
+	node := p.Node()
+	local := p.Local()
+	pair := L * L * m // bytes exchanged per node pair
+
+	if N == 1 {
+		collectives.PairwiseAlltoall(p, c, send, recv)
+		return
+	}
+
+	// Staging region: for each destination node, L*L slices laid out as
+	// [srcLocal][dstLocal]. The arrival region mirrors it per source node.
+	out := p.ShmOpen(fmt.Sprintf("mha-a2a-out-%d", epoch), N*pair)
+	in := p.ShmOpen(fmt.Sprintf("mha-a2a-in-%d", epoch), N*pair)
+	staged := out.Counter("staged")
+	arrived := in.Counter("arrived")
+
+	// Phase 1: every rank stages its slice for every destination rank.
+	for dn := 0; dn < N; dn++ {
+		for dl := 0; dl < L; dl++ {
+			dst := topo.RankOf(dn, dl)
+			off := dn*pair + (local*L+dl)*m
+			out.CopyIn(p, off, send.Slice(dst*m, m))
+		}
+	}
+	staged.Add(1)
+
+	// Local slices don't cross the network: once every node rank has
+	// staged, pull the slices the on-node peers addressed to this rank.
+	out.WaitCounter(p, "staged", int64(L))
+	for sl := 0; sl < L; sl++ {
+		src := topo.RankOf(node, sl)
+		off := node*pair + (sl*L+local)*m
+		out.CopyOut(p, off, recv.Slice(src*m, m))
+	}
+
+	if p.IsLeader() {
+		lc := w.LeaderComm()
+		// Pairwise exchange of node-pair blocks; each arrival is
+		// published immediately so peers overlap their copy-out.
+		reqs := make([]*mpi.Request, 0, N-1)
+		order := make([]int, 0, N-1)
+		for s := 1; s < N; s++ {
+			srcN := (node - s + N) % N
+			reqs = append(reqs, p.Irecv(lc, srcN, mpi.Tag(epoch, phaseMA2A, s)))
+			order = append(order, srcN)
+		}
+		for s := 1; s < N; s++ {
+			dstN := (node + s) % N
+			blk := out.Region(dstN*pair, pair)
+			p.Isend(lc, dstN, mpi.Tag(epoch, phaseMA2A, s), blk)
+		}
+		for i, rq := range reqs {
+			got := p.Wait(rq)
+			in.CopyIn(p, order[i]*pair, got)
+			arrived.Add(1)
+		}
+		// Leader's own incoming slices.
+		for _, srcN := range order {
+			for sl := 0; sl < L; sl++ {
+				src := topo.RankOf(srcN, sl)
+				recv.Slice(src*m, m).CopyFrom(in.Region(srcN*pair+(sl*L+local)*m, m))
+			}
+			p.ChargeCopy(L * m)
+		}
+		return
+	}
+
+	// Non-leaders: copy each arriving node-pair block's slices out as the
+	// counter advances.
+	for k := 1; k < N; k++ {
+		in.WaitCounter(p, "arrived", int64(k))
+		srcN := (node - k + N) % N
+		for sl := 0; sl < L; sl++ {
+			src := topo.RankOf(srcN, sl)
+			off := srcN*pair + (sl*L+local)*m
+			dst := recv.Slice(src*m, m)
+			in.CopyOut(p, off, dst)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package core
+
+// The paper's second piece of future work (Section 7): "We can have a
+// 3-level design with the overlapping of intra-socket, inter-socket, and
+// inter-node communication." On NUMA topologies (Cluster.Sockets > 1 with
+// a cross-socket CMA penalty) the 2-level design's phase 1 pays the
+// penalty on most of its transfers; the 3-level design below keeps level
+// 0 entirely socket-local, crosses sockets once through shared memory,
+// and reuses the overlapped inter-node machinery unchanged.
+
+import (
+	"fmt"
+
+	"mha/internal/collectives"
+	"mha/internal/mpi"
+)
+
+// NodeAllgather3Level aggregates the node block NUMA-aware: an MHA-intra
+// allgather inside each socket (level 0, all transfers socket-local),
+// then socket leaders publish their socket blocks through node shared
+// memory and every rank copies the other sockets' blocks out (level 1).
+// It has the same signature as the phase-1 hook of the hierarchical
+// allgather, so level 2 (inter-node) composes for free.
+//
+// On flat topologies it degrades to plain MHA-intra.
+func NodeAllgather3Level(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf) {
+	w := p.World()
+	topo := w.Topo()
+	S := topo.NumaSockets()
+	if S <= 1 {
+		MHAIntraAllgather(p, c, send, recv)
+		return
+	}
+	m := send.Len()
+	if recv.Len() != m*c.Size() {
+		panic("core: 3-level node allgather buffer mismatch")
+	}
+	local := p.Local()
+	sock := topo.SocketOf(local)
+	sc := w.SocketComm(p.Node(), sock)
+	per := topo.PPN / S
+	sockOff := sock * per * m
+
+	// Level 0: socket-local MHA-intra into this socket's slice.
+	MHAIntraAllgather(p, sc, send, recv.Slice(sockOff, per*m))
+
+	// Level 1: cross the sockets exactly once, through shared memory.
+	epoch := c.Epoch(p)
+	shm := p.ShmOpen(fmt.Sprintf("numa-l1-%d", epoch), topo.PPN*m)
+	ready := shm.Counter("sockets")
+	if sc.Rank(p) == 0 {
+		shm.CopyIn(p, sockOff, recv.Slice(sockOff, per*m))
+		ready.Add(1)
+	}
+	shm.WaitCounter(p, "sockets", int64(S))
+	for s2 := 0; s2 < S; s2++ {
+		if s2 == sock {
+			continue
+		}
+		off := s2 * per * m
+		shm.CopyOut(p, off, recv.Slice(off, per*m))
+	}
+}
+
+// MHA3LevelAllgather is the NUMA-aware hierarchical allgather: level 0
+// intra-socket, level 1 inter-socket, level 2 inter-node with the usual
+// striped, overlapped leader exchange.
+func MHA3LevelAllgather(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	if w.Topo().Nodes == 1 {
+		NodeAllgather3Level(p, w.CommWorld(), send, recv)
+		return
+	}
+	alg := collectives.LeaderRing
+	if !RingBetter(w, send.Len()) {
+		alg = collectives.LeaderRD
+	}
+	collectives.HierarchicalAllgather(p, w, send, recv, collectives.HierarchicalConfig{
+		NodeAllgather: NodeAllgather3Level,
+		LeaderAlg:     alg,
+		Overlap:       true,
+	})
+}

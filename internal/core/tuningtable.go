@@ -1,0 +1,130 @@
+package core
+
+// Production MPI libraries ship *tuning tables*: per-(topology, message
+// size) algorithm selections measured ahead of time (MVAPICH2's are
+// generated exactly this way). This file provides the same facility for
+// the MHA collectives: BuildTuningTable sweeps the simulator once per
+// size class, records the winning phase-2 algorithm and the tuned offload
+// d, and the result serializes to JSON so cmd/mhatune can persist it and
+// jobs can load it instead of re-deriving selections from the model.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+// TuningEntry is one size class of a tuning table.
+type TuningEntry struct {
+	// MaxBytes is the inclusive per-rank message-size upper bound this
+	// entry covers; the last entry of a table covers everything above.
+	MaxBytes int `json:"max_bytes"`
+	// Alg is the measured-best phase-2 algorithm ("ring" or "rd").
+	Alg string `json:"alg"`
+	// OffloadD is the tuned intra-node HCA offload for this size class.
+	OffloadD float64 `json:"offload_d"`
+	// RingUS and RDUS record the measured latencies that justified the
+	// selection (microseconds), for auditability.
+	RingUS float64 `json:"ring_us"`
+	RDUS   float64 `json:"rd_us"`
+}
+
+// TuningTable is a persisted selection table for one cluster shape.
+type TuningTable struct {
+	Nodes   int           `json:"nodes"`
+	PPN     int           `json:"ppn"`
+	HCAs    int           `json:"hcas"`
+	Entries []TuningEntry `json:"entries"`
+}
+
+// BuildTuningTable measures both phase-2 algorithms and the offload
+// optimum at each size and returns the resulting table. Sizes are sorted
+// ascending; each becomes one entry's MaxBytes.
+func BuildTuningTable(topo topology.Cluster, prm *netmodel.Params, sizes []int) TuningTable {
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	t := TuningTable{Nodes: topo.Nodes, PPN: topo.PPN, HCAs: topo.HCAs}
+	intraTopo := topology.New(1, topo.PPN, topo.HCAs)
+	for _, m := range sorted {
+		ring := MeasureInter(topo, prm, m, InterConfig{LeaderAlg: ForceRing})
+		rd := MeasureInter(topo, prm, m, InterConfig{LeaderAlg: ForceRD})
+		alg := "ring"
+		if rd < ring {
+			alg = "rd"
+		}
+		d, _ := TuneOffload(intraTopo, prm, m, 5)
+		t.Entries = append(t.Entries, TuningEntry{
+			MaxBytes: m,
+			Alg:      alg,
+			OffloadD: d,
+			RingUS:   ring.Micros(),
+			RDUS:     rd.Micros(),
+		})
+	}
+	return t
+}
+
+// Lookup returns the entry covering per-rank size m (the last entry for
+// anything beyond the table).
+func (t TuningTable) Lookup(m int) TuningEntry {
+	if len(t.Entries) == 0 {
+		panic("core: empty tuning table")
+	}
+	for _, e := range t.Entries {
+		if m <= e.MaxBytes {
+			return e
+		}
+	}
+	return t.Entries[len(t.Entries)-1]
+}
+
+// InterConfigFor translates a lookup into the collective configuration.
+func (t TuningTable) InterConfigFor(m int) InterConfig {
+	e := t.Lookup(m)
+	cfg := InterConfig{LeaderAlg: ForceRing}
+	if e.Alg == "rd" {
+		cfg.LeaderAlg = ForceRD
+	}
+	return cfg
+}
+
+// Matches reports whether the table was built for the given shape.
+func (t TuningTable) Matches(topo topology.Cluster) bool {
+	return t.Nodes == topo.Nodes && t.PPN == topo.PPN && t.HCAs == topo.HCAs
+}
+
+// Save writes the table as indented JSON.
+func (t TuningTable) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// LoadTuningTable reads a table written by Save and validates it.
+func LoadTuningTable(r io.Reader) (TuningTable, error) {
+	var t TuningTable
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return TuningTable{}, fmt.Errorf("core: decoding tuning table: %w", err)
+	}
+	if t.Nodes < 1 || t.PPN < 1 || t.HCAs < 1 {
+		return TuningTable{}, fmt.Errorf("core: tuning table has invalid shape %d/%d/%d", t.Nodes, t.PPN, t.HCAs)
+	}
+	if len(t.Entries) == 0 {
+		return TuningTable{}, fmt.Errorf("core: tuning table has no entries")
+	}
+	last := -1
+	for _, e := range t.Entries {
+		if e.MaxBytes <= last {
+			return TuningTable{}, fmt.Errorf("core: tuning table entries not ascending at %d", e.MaxBytes)
+		}
+		if e.Alg != "ring" && e.Alg != "rd" {
+			return TuningTable{}, fmt.Errorf("core: unknown algorithm %q in tuning table", e.Alg)
+		}
+		last = e.MaxBytes
+	}
+	return t, nil
+}

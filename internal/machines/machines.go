@@ -1,0 +1,107 @@
+// Package machines catalogs named cluster presets — a topology plus a
+// matching cost-model calibration — so experiments and tools can select a
+// machine by name. Thor is the paper's testbed; the others are public
+// multi-rail systems the paper's introduction names as motivation, with
+// parameters derived from their public specifications. Only Thor is
+// calibration-validated against published measurements (the paper's
+// Figures 1 and 3); the rest are plausible extrapolations for what-if
+// studies, not reproductions.
+package machines
+
+import (
+	"fmt"
+	"sort"
+
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// Machine is one named preset.
+type Machine struct {
+	// Name is the selector used by the -machine flags.
+	Name string
+	// Description says what the preset models.
+	Description string
+	// Topo is the full-scale topology.
+	Topo topology.Cluster
+	// Params is the matching calibration.
+	Params *netmodel.Params
+}
+
+// catalog holds the presets, keyed by name.
+var catalog = map[string]Machine{}
+
+func register(m Machine) {
+	if err := m.Topo.Validate(); err != nil {
+		panic(fmt.Sprintf("machines: %s: %v", m.Name, err))
+	}
+	if err := m.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("machines: %s: %v", m.Name, err))
+	}
+	catalog[m.Name] = m
+}
+
+func init() {
+	register(Machine{
+		Name:        "thor",
+		Description: "HPC Advisory Council Thor: 32 nodes x 32 cores, 2x HDR100 (the paper's testbed)",
+		Topo:        topology.New(32, 32, 2),
+		Params:      netmodel.Thor(),
+	})
+	register(Machine{
+		Name:        "thor-numa",
+		Description: "Thor with its dual-socket NUMA structure exposed (2 sockets, 1.5x cross-socket)",
+		Topo:        topology.Cluster{Nodes: 32, PPN: 32, HCAs: 2, Sockets: 2},
+		Params:      netmodel.NumaThor(),
+	})
+	register(Machine{
+		Name:        "thetagpu",
+		Description: "ANL ThetaGPU-like: 24 nodes, 8x HDR200 rails per node (the paper's 8-adapter motivation)",
+		Topo:        topology.New(24, 16, 8),
+		Params:      netmodel.ThetaGPU(),
+	})
+	summit := netmodel.Thor()
+	summit.BWHCA = 12.5e9 // dual-rail EDR aggregated per the Summit node design
+	summit.AlphaHCA = sim.FromMicros(1.3)
+	register(Machine{
+		Name:        "summit-like",
+		Description: "Summit-like: 2 rails per node, 42 usable cores, taken as 16 ranks/node here",
+		Topo:        topology.New(64, 16, 2),
+		Params:      summit,
+	})
+	frontier := netmodel.Thor()
+	frontier.BWHCA = 25.0e9 // Slingshot-11 200 Gb/s NICs
+	frontier.AlphaHCA = sim.FromMicros(1.6)
+	register(Machine{
+		Name:        "frontier-like",
+		Description: "Frontier-like: 4x 200Gb/s NICs per node (the paper's exascale motivation)",
+		Topo:        topology.New(64, 32, 4),
+		Params:      frontier,
+	})
+}
+
+// Get returns a preset by name.
+func Get(name string) (Machine, bool) {
+	m, ok := catalog[name]
+	return m, ok
+}
+
+// Names lists the presets alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every preset in name order.
+func All() []Machine {
+	out := make([]Machine, 0, len(catalog))
+	for _, n := range Names() {
+		out = append(out, catalog[n])
+	}
+	return out
+}

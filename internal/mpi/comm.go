@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mha/internal/sim"
+)
+
+// A Comm is an ordered group of world ranks with its own rank numbering,
+// message-matching space, and barrier. Comms must be identical across all
+// participating ranks; the pre-built World/node/leader comms and comms
+// created before Run always are.
+type Comm struct {
+	w          *World
+	id         int
+	ranks      []int       // comm rank -> world rank
+	index      map[int]int // world rank -> comm rank
+	barCounter *sim.Counter
+}
+
+// newComm registers a communicator. Caller holds no locks during New; at
+// runtime w.mu guards the registry.
+func (w *World) newComm(ranks []int) *Comm {
+	c := &Comm{
+		w:     w,
+		ranks: append([]int(nil), ranks...),
+		index: make(map[int]int, len(ranks)),
+	}
+	for i, r := range ranks {
+		if r < 0 || r >= w.topo.Size() {
+			panic(fmt.Sprintf("mpi: comm rank %d out of range", r))
+		}
+		if _, dup := c.index[r]; dup {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in comm", r))
+		}
+		c.index[r] = i
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c.id = len(w.comms)
+	c.barCounter = w.eng.NewCounter(fmt.Sprintf("comm%d.barrier", c.id))
+	w.comms = append(w.comms, c)
+	return c
+}
+
+// World returns the world communicator (all ranks).
+func (w *World) CommWorld() *Comm { return w.world }
+
+// NodeComm returns the communicator of the ranks on one node.
+func (w *World) NodeComm(nodeID int) *Comm { return w.nodeComms[nodeID] }
+
+// LeaderComm returns the communicator of all node leaders, in node order.
+func (w *World) LeaderComm() *Comm { return w.leaders }
+
+// NewComm creates a custom communicator over the given world ranks (in the
+// given order). Call it before Run, or make sure every rank that uses the
+// comm observes the same creation order.
+func (w *World) NewComm(ranks []int) *Comm { return w.newComm(ranks) }
+
+// CommNamed returns the communicator registered under key, creating it
+// from ranks() on first use. It makes runtime communicator creation safe:
+// every rank asking for the same key gets the same Comm object no matter
+// who asks first.
+func (w *World) CommNamed(key string, ranks func() []int) *Comm {
+	w.mu.Lock()
+	if w.named == nil {
+		w.named = map[string]*Comm{}
+	}
+	if c, ok := w.named[key]; ok {
+		w.mu.Unlock()
+		return c
+	}
+	w.mu.Unlock()
+	// newComm takes w.mu itself; build outside the lock, then publish
+	// (double-checked: a racing creator loses and adopts the winner).
+	c := w.newComm(ranks())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if prev, ok := w.named[key]; ok {
+		return prev
+	}
+	w.named[key] = c
+	return c
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns p's rank within c, or -1 if p is not a member.
+func (c *Comm) Rank(p *Proc) int {
+	if i, ok := c.index[p.rs.rank]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether world rank r belongs to the communicator.
+func (c *Comm) Contains(worldRank int) bool {
+	_, ok := c.index[worldRank]
+	return ok
+}
+
+// WorldRank maps a comm rank to its world rank.
+func (c *Comm) WorldRank(commRank int) int {
+	if commRank < 0 || commRank >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", commRank, len(c.ranks)))
+	}
+	return c.ranks[commRank]
+}
+
+// Ranks returns a copy of the comm-rank -> world-rank mapping.
+func (c *Comm) Ranks() []int { return append([]int(nil), c.ranks...) }
+
+// Epoch returns a fresh collective epoch for p on this communicator.
+// Collectives call it once per invocation and embed the epoch in their
+// message tags, so back-to-back collectives on one comm can never match
+// each other's messages. All ranks invoke collectives in the same order,
+// so they agree on the epoch.
+func (c *Comm) Epoch(p *Proc) int {
+	e := p.rs.epochs[c.id]
+	p.rs.epochs[c.id] = e + 1
+	return e
+}
+
+// Tag composes a collision-free message tag from a collective epoch, a
+// phase id (5 bits) and a step number (16 bits).
+func Tag(epoch, phase, step int) int {
+	if phase < 0 || phase > 31 {
+		panic(fmt.Sprintf("mpi: tag phase %d out of range", phase))
+	}
+	if step < 0 || step >= 1<<16 {
+		panic(fmt.Sprintf("mpi: tag step %d out of range", step))
+	}
+	return epoch<<21 | phase<<16 | step
+}
+
+// Barrier blocks until every rank of the communicator has entered the same
+// barrier generation. It is a synchronization fence in virtual time with no
+// modeled network cost; benchmarks use it to align ranks before timing.
+func (c *Comm) Barrier(p *Proc) {
+	if c.Rank(p) < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %d", p.rs.rank, c.id))
+	}
+	gen := p.rs.barGen[c.id]
+	p.rs.barGen[c.id] = gen + 1
+	c.barCounter.Add(1)
+	c.barCounter.WaitGE(p.sp, int64(gen+1)*int64(len(c.ranks)))
+}

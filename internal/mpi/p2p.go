@@ -1,0 +1,261 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/trace"
+)
+
+// AnySource matches a message from any rank in Recv/Irecv.
+const AnySource = -1
+
+// sendOpts carries transport selection for one send.
+type sendOpts struct {
+	forceHCA bool // use an HCA even for an intra-node peer (loopback)
+	rail     int  // specific rail index, or -1 for the default policy
+	noStripe bool // never stripe, even above the striping threshold
+	byRef    bool // zero-cost pointer handoff (same node only)
+}
+
+// SendOption customizes how a message is carried.
+type SendOption func(*sendOpts)
+
+// ViaHCA forces the message through the network adapters even when the
+// peer is on the same node. This is the MHA-intra offload path: the NIC
+// loops the transfer back into the node, leaving the CPUs free.
+func ViaHCA() SendOption { return func(o *sendOpts) { o.forceHCA = true } }
+
+// ViaRail pins the message to one specific rail (implies ViaHCA).
+func ViaRail(r int) SendOption {
+	return func(o *sendOpts) { o.forceHCA = true; o.rail = r }
+}
+
+// NoStripe disables multirail striping for this message.
+func NoStripe() SendOption { return func(o *sendOpts) { o.noStripe = true } }
+
+// ByRef delivers the message instantly with no transfer cost, modeling a
+// pointer handoff between on-node ranks (e.g. exposing a buffer for the
+// peer to read via CMA). The consumer pays for the actual copy, typically
+// via ChargeCMA. Only valid between ranks on the same node.
+func ByRef() SendOption { return func(o *sendOpts) { o.byRef = true } }
+
+// A Request is an in-flight nonblocking operation; complete it with Wait.
+type Request struct {
+	p      *Proc
+	isSend bool
+	end    sim.Time // send: transfer completion
+	// receive side:
+	comm     *Comm
+	src, tag int
+	data     Buf
+	done     bool
+	posted   sim.Time
+}
+
+// Isend starts a nonblocking send of data to comm rank dst. The payload is
+// snapshotted immediately (the caller may reuse its buffer). Transfer
+// resources are seized at post time; Wait blocks until the transfer ends.
+func (p *Proc) Isend(c *Comm, dst, tag int, data Buf, opts ...SendOption) *Request {
+	var o sendOpts
+	o.rail = -1
+	for _, opt := range opts {
+		opt(&o)
+	}
+	wdst := c.WorldRank(dst)
+	wsrc := p.rs.rank
+	n := data.Len()
+	// Per-message posting overhead (LogGP's o): the caller's CPU is busy
+	// before the transfer machinery even starts. ByRef handoffs are free.
+	if post := p.w.prm.AlphaPost; post > 0 && !o.byRef {
+		_, oe := p.rs.cpu.Acquire(post)
+		p.sp.WaitUntil(oe)
+	}
+	msg := &message{comm: c.id, src: wsrc, dst: wdst, tag: tag, data: data.Clone(), sentAt: p.Now()}
+
+	var end sim.Time
+	sameNode := p.w.topo.SameNode(wsrc, wdst)
+	switch {
+	case o.byRef:
+		if !sameNode {
+			panic("mpi: ByRef send to a rank on another node")
+		}
+		end = p.Now()
+	case sameNode && !o.forceHCA:
+		end = p.sendCMA(wdst, n)
+	default:
+		end = p.sendHCA(wdst, n, o)
+	}
+	p.w.ranks[wdst].mbox.PutAt(end, msg)
+	return &Request{p: p, isSend: true, end: end, posted: msg.sentAt}
+}
+
+// sendCMA carries n bytes to an on-node peer with a kernel-assisted single
+// copy performed by this rank's CPU, subject to memory congestion and, on
+// NUMA topologies, the cross-socket penalty.
+func (p *Proc) sendCMA(wdst, n int) sim.Time {
+	nd := p.w.nodes[p.rs.node]
+	conc := nd.mem.Inc()
+	d := p.w.perturb(p.w.prm.CMATime(n, conc))
+	if f := p.w.prm.SocketFactor(); f > 1 &&
+		!p.w.topo.SameSocket(p.rs.local, p.w.topo.LocalOf(wdst)) {
+		d = sim.Duration(float64(d) * f)
+	}
+	start, end := p.rs.cpu.Acquire(d)
+	nd.mem.DecAt(end)
+	p.trace(trace.CatSend, "cma", start, end, wdst, n)
+	// The sending CPU is busy for the whole copy; model that by advancing
+	// the rank past its own copy. Nonblocking semantics survive because
+	// further sends queue on the cpu resource rather than on the caller.
+	return end
+}
+
+// sendHCA carries n bytes through network adapters: a pinned rail, a
+// round-robin rail for small messages, or striped across every rail for
+// large ones (the multirail point-to-point design of Liu et al.).
+func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
+	prm := p.w.prm
+	srcNode := p.w.nodes[p.rs.node]
+	dstNode := p.w.nodes[p.w.topo.NodeOf(wdst)]
+	H := len(srcNode.hcas)
+
+	rendezvous := sim.Duration(0)
+	if n >= prm.RendezvousThreshold {
+		rendezvous = prm.AlphaRendezvous
+	}
+
+	var rails []int
+	var pieces []int
+	switch {
+	case o.rail >= 0:
+		if o.rail >= H {
+			panic(fmt.Sprintf("mpi: rail %d out of range (H=%d)", o.rail, H))
+		}
+		rails, pieces = []int{o.rail}, []int{n}
+	case !o.noStripe && prm.ShouldStripe(n) && H > 1:
+		rails = make([]int, H)
+		for i := range rails {
+			rails[i] = i
+		}
+		pieces = netmodel.RailChunk(n, H)
+	default:
+		r := p.rs.railRR % H
+		p.rs.railRR++
+		rails, pieces = []int{r}, []int{n}
+	}
+
+	// On a fat-tree fabric, cross-leaf pieces additionally hold their leaf
+	// switches' shared up/downlinks for the time the piece takes at the
+	// leaf's aggregate rate — the contention point of an oversubscribed
+	// tree. Same-leaf (and loopback) traffic never leaves the leaf.
+	srcLeaf := p.w.leafOf(p.rs.node)
+	dstLeaf := p.w.leafOf(p.w.topo.NodeOf(wdst))
+	crossLeaf := srcLeaf != nil && srcLeaf != dstLeaf
+
+	var end sim.Time
+	var start sim.Time = -1
+	for i, r := range rails {
+		d := p.w.perturb(prm.AlphaHCA + rendezvous + sim.FromSeconds(float64(pieces[i])/prm.BWHCA))
+		s, e := sim.AcquireTogether(d, srcNode.hcas[r].tx, dstNode.hcas[r].rx)
+		if crossLeaf {
+			// The piece also consumes leaf up/downlink capacity from the
+			// moment it starts injecting; a piece is only delivered once
+			// the (FIFO, aggregate-rate) fabric stage has carried it. On a
+			// full-bisection tree the fabric keeps up and this never
+			// extends the endpoint time; tapered uplinks queue here.
+			leafD := sim.FromSeconds(float64(pieces[i]) / prm.LeafUplinkBW(H))
+			if _, e2 := srcLeaf.up.AcquireAfter(s, leafD); e2 > e {
+				e = e2
+			}
+			if _, e3 := dstLeaf.down.AcquireAfter(s, leafD); e3 > e {
+				e = e3
+			}
+		}
+		if start < 0 || s < start {
+			start = s
+		}
+		if e > end {
+			end = e
+		}
+	}
+	p.trace(trace.CatHCA, fmt.Sprintf("hca(x%d)", len(rails)), start, end, wdst, n)
+	return end
+}
+
+// Irecv posts a nonblocking receive for a message from comm rank src with
+// the given tag. src may be AnySource. The match happens at Wait time.
+func (p *Proc) Irecv(c *Comm, src, tag int) *Request {
+	wsrc := AnySource
+	if src != AnySource {
+		wsrc = c.WorldRank(src)
+	}
+	return &Request{p: p, comm: c, src: wsrc, tag: tag, posted: p.Now()}
+}
+
+// Wait completes a request. For receives it blocks until a matching
+// message has arrived and returns its payload; for sends it blocks until
+// the transfer has left the machine and returns a zero Buf.
+func (p *Proc) Wait(req *Request) Buf {
+	if req.p != p {
+		panic("mpi: Wait on another rank's request")
+	}
+	if req.done {
+		return req.data
+	}
+	req.done = true
+	if req.isSend {
+		start := p.Now()
+		p.sp.WaitUntil(req.end)
+		p.trace(trace.CatWait, "wait-send", start, p.Now(), -1, 0)
+		return Buf{}
+	}
+	start := p.Now()
+	what := fmt.Sprintf("msg(comm=%d src=%d tag=%d)", req.comm.id, req.src, req.tag)
+	v := p.rs.mbox.Get(p.sp, what, func(v interface{}) bool {
+		m := v.(*message)
+		return m.comm == req.comm.id && m.tag == req.tag &&
+			(req.src == AnySource || m.src == req.src)
+	})
+	m := v.(*message)
+	req.data = m.data
+	// Per-message completion overhead on the receiving CPU.
+	if post := p.w.prm.AlphaPost; post > 0 {
+		_, oe := p.rs.cpu.Acquire(post)
+		p.sp.WaitUntil(oe)
+	}
+	// The blocking interval is wait time, not work: the transfer itself is
+	// traced on the sender's lane (CMA copy or HCA occupation).
+	p.trace(trace.CatWait, "recv-wait", start, p.Now(), m.src, m.data.Len())
+	return m.data
+}
+
+// Waitall completes a set of requests in order and returns the receive
+// payloads positionally (zero Bufs for sends).
+func (p *Proc) Waitall(reqs ...*Request) []Buf {
+	out := make([]Buf, len(reqs))
+	for i, r := range reqs {
+		out[i] = p.Wait(r)
+	}
+	return out
+}
+
+// Send is a blocking send: it returns when the transfer completes.
+func (p *Proc) Send(c *Comm, dst, tag int, data Buf, opts ...SendOption) {
+	p.Wait(p.Isend(c, dst, tag, data, opts...))
+}
+
+// Recv is a blocking receive returning the matched payload.
+func (p *Proc) Recv(c *Comm, src, tag int) Buf {
+	return p.Wait(p.Irecv(c, src, tag))
+}
+
+// SendRecv posts the receive, starts the send, and completes both — the
+// classic ring-step primitive.
+func (p *Proc) SendRecv(c *Comm, dst, sendTag int, data Buf, src, recvTag int, opts ...SendOption) Buf {
+	rreq := p.Irecv(c, src, recvTag)
+	sreq := p.Isend(c, dst, sendTag, data, opts...)
+	got := p.Wait(rreq)
+	p.Wait(sreq)
+	return got
+}

@@ -1,0 +1,349 @@
+// Package mpi is a miniature MPI runtime on top of the sim engine: ranks
+// are simulated processes, point-to-point messages move real (or phantom)
+// payloads, and transfer times come from the netmodel cost functions
+// applied to contended hardware resources (HCA rails, node memory).
+//
+// It provides exactly the substrate the paper's designs need: blocking and
+// nonblocking point-to-point with tag matching, transport selection (CMA,
+// a specific HCA rail, striped multirail), communicators and sub-
+// communicators (node-local and leader comms), and node-level shared-memory
+// regions with virtual-time availability counters.
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+	"mha/internal/trace"
+)
+
+// Config describes a simulated MPI job.
+type Config struct {
+	// Topo is the cluster shape (required).
+	Topo topology.Cluster
+	// Params is the communication cost model; nil means netmodel.Thor().
+	Params *netmodel.Params
+	// Tracer, when non-nil, records every communication event.
+	Tracer *trace.Recorder
+	// Phantom makes shared-memory regions size-only. Point-to-point
+	// payloads are phantom whenever the caller passes Phantom buffers,
+	// independent of this flag.
+	Phantom bool
+	// Seed initializes the jitter RNG when Params.Jitter > 0; two worlds
+	// with the same seed produce identical results.
+	Seed int64
+}
+
+// World is one simulated MPI job. Create it with New, then call Run with
+// the rank body.
+type World struct {
+	eng    *sim.Engine
+	topo   topology.Cluster
+	prm    *netmodel.Params
+	tracer *trace.Recorder
+
+	phantom bool
+	nodes   []*node
+	ranks   []*rankState
+	leaves  []*leafSwitch // nil on a non-blocking fabric
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // nil when Params.Jitter == 0
+
+	mu          sync.Mutex
+	comms       []*Comm
+	world       *Comm
+	nodeComms   []*Comm
+	leaders     *Comm
+	socketComms [][]*Comm // [node][socket], only when Topo.Sockets > 1
+	named       map[string]*Comm
+}
+
+// node holds the per-node hardware: HCA rails and the memory-concurrency
+// gauge that drives the congestion factors, plus shared-memory regions.
+type node struct {
+	id   int
+	hcas []*hca
+	mem  *sim.Gauge
+	shms map[string]*Shm
+}
+
+// hca is one network adapter: independent transmit and receive engines
+// (full-duplex, as on InfiniBand).
+type hca struct {
+	tx *sim.Resource
+	rx *sim.Resource
+}
+
+// leafSwitch is one fat-tree leaf: shared aggregate up- and downlinks
+// that every cross-leaf transfer of its nodes must traverse.
+type leafSwitch struct {
+	up   *sim.Resource
+	down *sim.Resource
+}
+
+// rankState is the engine-side state of one rank.
+type rankState struct {
+	rank, node, local int
+	mbox              *sim.Mailbox
+	cpu               *sim.Resource
+	railRR            int         // round-robin cursor for small messages
+	epochs            map[int]int // per-comm collective epoch
+	barGen            map[int]int // per-comm barrier generation
+}
+
+// message is what travels between ranks.
+type message struct {
+	comm     int
+	src, dst int // world ranks
+	tag      int
+	data     Buf
+	sentAt   sim.Time
+}
+
+// New builds a world. The cluster shape must validate.
+func New(cfg Config) *World {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	prm := cfg.Params
+	if prm == nil {
+		prm = netmodel.Thor()
+	}
+	if err := prm.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	w := &World{
+		eng:     eng,
+		topo:    cfg.Topo,
+		prm:     prm,
+		tracer:  cfg.Tracer,
+		phantom: cfg.Phantom,
+	}
+	if prm.Jitter > 0 {
+		w.jitter = rand.New(rand.NewSource(cfg.Seed))
+	}
+	if prm.NodesPerLeaf > 0 {
+		leaves := (cfg.Topo.Nodes + prm.NodesPerLeaf - 1) / prm.NodesPerLeaf
+		for l := 0; l < leaves; l++ {
+			w.leaves = append(w.leaves, &leafSwitch{
+				up:   eng.NewResource(fmt.Sprintf("leaf%d.up", l)),
+				down: eng.NewResource(fmt.Sprintf("leaf%d.down", l)),
+			})
+		}
+	}
+	for n := 0; n < cfg.Topo.Nodes; n++ {
+		nd := &node{id: n, mem: eng.NewGauge(fmt.Sprintf("node%d.mem", n)), shms: map[string]*Shm{}}
+		for h := 0; h < cfg.Topo.HCAs; h++ {
+			nd.hcas = append(nd.hcas, &hca{
+				tx: eng.NewResource(fmt.Sprintf("node%d.hca%d.tx", n, h)),
+				rx: eng.NewResource(fmt.Sprintf("node%d.hca%d.rx", n, h)),
+			})
+		}
+		w.nodes = append(w.nodes, nd)
+	}
+	for r := 0; r < cfg.Topo.Size(); r++ {
+		w.ranks = append(w.ranks, &rankState{
+			rank:   r,
+			node:   cfg.Topo.NodeOf(r),
+			local:  cfg.Topo.LocalOf(r),
+			mbox:   eng.NewMailbox(fmt.Sprintf("rank%d", r)),
+			cpu:    eng.NewResource(fmt.Sprintf("rank%d.cpu", r)),
+			epochs: map[int]int{},
+			barGen: map[int]int{},
+		})
+	}
+	// Pre-build the standard communicators.
+	all := make([]int, cfg.Topo.Size())
+	for i := range all {
+		all[i] = i
+	}
+	w.world = w.newComm(all)
+	for n := 0; n < cfg.Topo.Nodes; n++ {
+		w.nodeComms = append(w.nodeComms, w.newComm(cfg.Topo.NodeRanks(n)))
+	}
+	w.leaders = w.newComm(cfg.Topo.Leaders())
+	if s := cfg.Topo.NumaSockets(); s > 1 {
+		w.socketComms = make([][]*Comm, cfg.Topo.Nodes)
+		for n := 0; n < cfg.Topo.Nodes; n++ {
+			w.socketComms[n] = make([]*Comm, s)
+			for sock := 0; sock < s; sock++ {
+				locals := cfg.Topo.SocketLocals(sock)
+				ranks := make([]int, len(locals))
+				for i, l := range locals {
+					ranks[i] = cfg.Topo.RankOf(n, l)
+				}
+				w.socketComms[n][sock] = w.newComm(ranks)
+			}
+		}
+	}
+	return w
+}
+
+// leafOf returns the leaf switch of a node, or nil on a non-blocking
+// fabric.
+func (w *World) leafOf(nodeID int) *leafSwitch {
+	if w.leaves == nil {
+		return nil
+	}
+	return w.leaves[nodeID/w.prm.NodesPerLeaf]
+}
+
+// SocketComm returns the communicator of one NUMA socket's ranks. It
+// panics when the topology has no socket structure (Sockets <= 1).
+func (w *World) SocketComm(nodeID, socket int) *Comm {
+	if w.socketComms == nil {
+		panic("mpi: SocketComm on a flat (non-NUMA) topology")
+	}
+	return w.socketComms[nodeID][socket]
+}
+
+// Topo returns the cluster shape.
+func (w *World) Topo() topology.Cluster { return w.topo }
+
+// Params returns the communication cost model in use.
+func (w *World) Params() *netmodel.Params { return w.prm }
+
+// Engine exposes the underlying simulation engine (for custom resources).
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Phantom reports whether shared-memory regions are size-only.
+func (w *World) Phantom() bool { return w.phantom }
+
+// perturb applies the configured OS/fabric noise to a modeled duration:
+// a uniform factor in [1, 1+2*Jitter]. With Jitter == 0 it is identity.
+// Draws happen in deterministic virtual-time order (the engine runs one
+// process at a time), so a fixed seed reproduces exactly.
+func (w *World) perturb(d sim.Duration) sim.Duration {
+	if w.jitter == nil {
+		return d
+	}
+	w.jitterMu.Lock()
+	f := 1 + 2*w.prm.Jitter*w.jitter.Float64()
+	w.jitterMu.Unlock()
+	return sim.Duration(float64(d) * f)
+}
+
+// Run spawns one simulated process per rank, each executing body, and runs
+// the simulation to completion.
+func (w *World) Run(body func(*Proc)) error {
+	for r := 0; r < w.topo.Size(); r++ {
+		rs := w.ranks[r]
+		w.eng.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			body(&Proc{sp: sp, w: w, rs: rs})
+		})
+	}
+	return w.eng.Run()
+}
+
+// Proc is the per-rank handle passed to the rank body. All its methods must
+// be called from that rank's goroutine.
+type Proc struct {
+	sp *sim.Proc
+	w  *World
+	rs *rankState
+}
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.rs.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.topo.Size() }
+
+// Node returns the node index hosting this rank.
+func (p *Proc) Node() int { return p.rs.node }
+
+// Local returns the rank's index within its node.
+func (p *Proc) Local() int { return p.rs.local }
+
+// PPN returns the processes-per-node count.
+func (p *Proc) PPN() int { return p.w.topo.PPN }
+
+// HCAs returns the number of rails per node.
+func (p *Proc) HCAs() int { return p.w.topo.HCAs }
+
+// World returns the job this process belongs to.
+func (p *Proc) World() *World { return p.w }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// IsLeader reports whether this rank is its node's leader (local 0).
+func (p *Proc) IsLeader() bool { return p.rs.local == 0 }
+
+// Compute occupies this rank's CPU for d, modeling local computation.
+func (p *Proc) Compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := p.Now()
+	_, end := p.rs.cpu.Acquire(d)
+	p.sp.WaitUntil(end)
+	p.trace(trace.CatCompute, "compute", start, end, -1, 0)
+}
+
+// LocalCopy models a local memcpy of n bytes (e.g. send buffer to receive
+// buffer at the start of a non-in-place collective), subject to the node's
+// memory congestion, and performs the byte copy if both buffers are real.
+func (p *Proc) LocalCopy(dst, src Buf) {
+	n := src.Len()
+	dst.CopyFrom(src)
+	nd := p.w.nodes[p.rs.node]
+	conc := nd.mem.Inc()
+	d := p.w.perturb(p.w.prm.CopyTime(n, conc))
+	start, end := p.rs.cpu.Acquire(d)
+	nd.mem.DecAt(end)
+	p.sp.WaitUntil(end)
+	p.trace(trace.CatCompute, "localcopy", start, end, -1, n)
+}
+
+// ChargeCopy models the time of a local memcpy of n bytes (congested, on
+// this rank's CPU) without moving any data. Collectives use it for bulk
+// buffer shuffles whose data movement is done separately via Buf.CopyFrom.
+func (p *Proc) ChargeCopy(n int) {
+	if n <= 0 {
+		return
+	}
+	nd := p.w.nodes[p.rs.node]
+	conc := nd.mem.Inc()
+	d := p.w.perturb(p.w.prm.CopyTime(n, conc))
+	start, end := p.rs.cpu.Acquire(d)
+	nd.mem.DecAt(end)
+	p.sp.WaitUntil(end)
+	p.trace(trace.CatCompute, "memcopy", start, end, -1, n)
+}
+
+// ChargeCMA models the time of a receiver-driven CMA pull of n bytes
+// (process_vm_readv performed by this rank's CPU against another rank's
+// address space), congested like any CMA transfer. Pair it with ByRef
+// sends for leader-driven gathers.
+func (p *Proc) ChargeCMA(n int) {
+	if n <= 0 {
+		return
+	}
+	nd := p.w.nodes[p.rs.node]
+	conc := nd.mem.Inc()
+	d := p.w.perturb(p.w.prm.CMATime(n, conc))
+	start, end := p.rs.cpu.Acquire(d)
+	nd.mem.DecAt(end)
+	p.sp.WaitUntil(end)
+	p.trace(trace.CatRecv, "cma-pull", start, end, -1, n)
+}
+
+// Sleep advances this rank's virtual clock without occupying any resource.
+func (p *Proc) Sleep(d sim.Duration) { p.sp.Sleep(d) }
+
+func (p *Proc) trace(cat trace.Category, name string, start, end sim.Time, peer, bytes int) {
+	if p.w.tracer == nil {
+		return
+	}
+	p.w.tracer.Add(trace.Event{
+		Rank: p.rs.rank, Cat: cat, Name: name,
+		Start: start, End: end, Peer: peer, Bytes: bytes,
+	})
+}

@@ -1,0 +1,118 @@
+package perfmodel
+
+// Analytic models for the collectives beyond allgather, in the same
+// Table-1 vocabulary. The allreduce models extend the paper's Section 5.4
+// argument ("by improving Allgather, the performance of Allreduce is also
+// enhanced") into closed form; the bcast models cover the future-work
+// hierarchical broadcast.
+
+import (
+	"mha/internal/sim"
+)
+
+// reduceBW is the modeled elementwise-reduction throughput (bytes/s),
+// matching collectives.SumF64's default.
+const reduceBW = 8e9
+
+// ringStepTime is one flat-ring step of `bytes` per rank: every rank
+// sends concurrently, so a step costs the slowest link — the congested
+// intra-node CMA hop when PPN > 1, one HCA-striped hop otherwise.
+func (m Model) ringStepTime(bytes int) sim.Duration {
+	if m.Topo.PPN > 1 {
+		return m.TC(bytes)
+	}
+	return m.TH(bytes)
+}
+
+// FlatRingAllreduce models the Patarasuk-Yuan ring allreduce of n total
+// bytes over all P ranks: 2(P-1) steps of n/P bytes plus the per-step
+// chunk reductions in the scatter phase.
+func (m Model) FlatRingAllreduce(n int) sim.Duration {
+	P := m.Topo.Size()
+	if P <= 1 {
+		return 0
+	}
+	chunk := n / P
+	if chunk < 1 {
+		chunk = 1
+	}
+	step := m.ringStepTime(chunk)
+	reduce := sim.FromSeconds(float64(chunk) / reduceBW)
+	return sim.Duration(P-1)*(step+reduce) + sim.Duration(P-1)*step
+}
+
+// MHAAllreduce models the improved allreduce: the same ring reduce-scatter
+// followed by the MHA allgather of the reduced chunks (per-rank chunk size
+// n/P).
+func (m Model) MHAAllreduce(n int) sim.Duration {
+	P := m.Topo.Size()
+	if P <= 1 {
+		return 0
+	}
+	chunk := n / P
+	if chunk < 1 {
+		chunk = 1
+	}
+	step := m.ringStepTime(chunk)
+	reduce := sim.FromSeconds(float64(chunk) / reduceBW)
+	rs := sim.Duration(P-1) * (step + reduce)
+	ag := m.MHAInterRing(chunk)
+	if rd := m.MHAInterRD(chunk); rd < ag {
+		ag = rd
+	}
+	return rs + ag
+}
+
+// AllreduceImprovement predicts the latency reduction of the MHA allreduce
+// over the flat ring for n total bytes (the paper's Figure 15 metric).
+func (m Model) AllreduceImprovement(n int) float64 {
+	flat := m.FlatRingAllreduce(n)
+	if flat <= 0 {
+		return 0
+	}
+	return 1 - float64(m.MHAAllreduce(n))/float64(flat)
+}
+
+// FlatBinomialBcast models the binomial-tree broadcast of n bytes: ceil
+// log2(P) serial hops, each paying the slower of the two link classes it
+// might traverse (with PPN > 1 most tree edges cross nodes under block
+// layout, so the inter-node cost dominates).
+func (m Model) FlatBinomialBcast(n int) sim.Duration {
+	P := m.Topo.Size()
+	if P <= 1 {
+		return 0
+	}
+	hop := m.TH(n)
+	if c := m.TC(n); c > hop && m.Topo.PPN > 1 {
+		hop = c
+	}
+	return sim.Duration(log2ceil(P)) * hop
+}
+
+// MHABcast models the hierarchical broadcast: log2(N) striped inter-leader
+// hops plus one node-level shared-memory distribution (copy-in pipelined
+// with copy-out, bounded by their max plus one chunk drain).
+func (m Model) MHABcast(n int) sim.Duration {
+	N := m.Topo.Nodes
+	var tree sim.Duration
+	if N > 1 {
+		tree = sim.Duration(log2ceil(N)) * m.TH(n)
+	}
+	if m.Topo.PPN == 1 {
+		return tree
+	}
+	ci := m.copyIn(n)
+	co := m.copyOut(n)
+	pipeline := ci
+	if co > pipeline {
+		pipeline = co
+	}
+	return tree + pipeline + minDur(ci, co)
+}
+
+func minDur(a, b sim.Duration) sim.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

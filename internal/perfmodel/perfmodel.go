@@ -1,0 +1,282 @@
+// Package perfmodel implements the analytic cost models of Section 4 of
+// the paper (Equations 1-7, with the notation of its Table 1): the offload
+// balance for MHA-intra, the phase costs of MHA-inter with Recursive
+// Doubling or Ring inter-leader exchange, and the shared-memory broadcast
+// cost with the cg congestion factor. The same netmodel parameters drive
+// both the model and the simulator, so the model-validation experiments
+// (the paper's Figures 9 and 10) compare two genuinely independent
+// computations of each latency: a closed-form estimate versus an event-by-
+// event simulation with resource contention.
+package perfmodel
+
+import (
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// Model evaluates the paper's cost equations for one cluster shape.
+type Model struct {
+	// P is the communication parameter set (Table 1).
+	P *netmodel.Params
+	// Topo provides N (nodes), L (PPN) and H (adapters).
+	Topo topology.Cluster
+}
+
+// New returns a model over the given shape and parameters.
+func New(p *netmodel.Params, topo topology.Cluster) Model {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return Model{P: p, Topo: topo}
+}
+
+// TH is T_H(M): the time to send M bytes using all H adapters.
+func (m Model) TH(M int) sim.Duration { return m.P.HCATime(M, m.Topo.HCAs) }
+
+// TC is T_C(M): an intra-node transfer when all L ranks copy concurrently
+// (the b factor of the paper).
+func (m Model) TC(M int) sim.Duration { return m.P.CMATime(M, m.Topo.PPN) }
+
+// TL is T_L(M): a single local memory copy.
+func (m Model) TL(M int) sim.Duration { return m.P.CopyTime(M, 1) }
+
+// OffloadD is Equation (1): the number of each rank's L-1 intra-node
+// transfers to hand to the HCAs so CPUs and adapters finish together:
+//
+//	T_C(M) * (L-1-d) = T_H(M) * L * d
+//	d = T_C(M)*(L-1) / (T_H(M)*L + T_C(M))
+//
+// refined with the T_L(M) send-to-receive-buffer copy, which also occupies
+// the CPU (Equation 2 charges it but Equation 1 as published omits it):
+//
+//	T_L(M) + T_C(M)*(L-1-d) = T_H(M) * L * d
+//	d = (T_L(M) + T_C(M)*(L-1)) / (T_H(M)*L + T_C(M))
+//
+// The result is fractional; the implementation offloads floor(d) whole
+// transfers and splits one transfer by the remaining fraction.
+func (m Model) OffloadD(M int) float64 {
+	L := m.Topo.PPN
+	if L <= 1 {
+		return 0
+	}
+	tc := float64(m.TC(M))
+	th := float64(m.TH(M))
+	tl := float64(m.TL(M))
+	d := (tl + tc*float64(L-1)) / (th*float64(L) + tc)
+	if d < 0 {
+		d = 0
+	}
+	if max := float64(L - 1); d > max {
+		d = max
+	}
+	return d
+}
+
+// MHAIntra is Equation (2): the cost of the multi-HCA-aware intra-node
+// allgather with offload d transfers per rank:
+//
+//	T = T_L(M) + max{ (L-1-d)*T_C(M), L*d*T_H(M) }
+func (m Model) MHAIntra(M int) sim.Duration {
+	return m.MHAIntraWithOffload(M, m.OffloadD(M))
+}
+
+// MHAIntraWithOffload is Equation (2) for an explicit offload amount; the
+// offload-size/latency trade-off chart (the paper's Figure 5) sweeps d.
+// The T_L self-copy runs on the CPU concurrently with the adapters, so it
+// counts toward the CPU side of the max.
+func (m Model) MHAIntraWithOffload(M int, d float64) sim.Duration {
+	L := float64(m.Topo.PPN)
+	cpu := float64(m.TL(M)) + (L-1-d)*float64(m.TC(M))
+	hca := L * d * float64(m.TH(M))
+	worst := cpu
+	if hca > worst {
+		worst = hca
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	return sim.Duration(worst)
+}
+
+// Phase2RD is Equation (3): inter-leader recursive doubling over node
+// blocks of M*L bytes — log(N) startups plus (N-1) block transfers' worth
+// of bytes through H rails.
+func (m Model) Phase2RD(M int) sim.Duration {
+	N := m.Topo.Nodes
+	if N <= 1 {
+		return 0
+	}
+	ML := M * m.Topo.PPN
+	steps := log2ceil(N)
+	bytes := float64((N - 1) * ML)
+	return sim.Duration(steps)*m.P.AlphaHCA +
+		sim.FromSeconds(bytes/(m.P.BWHCA*float64(m.Topo.HCAs)))
+}
+
+// Phase2Ring is Equation (4): N-1 constant-size ring steps.
+func (m Model) Phase2Ring(M int) sim.Duration {
+	N := m.Topo.Nodes
+	if N <= 1 {
+		return 0
+	}
+	ML := M * m.Topo.PPN
+	bytes := float64((N - 1) * ML)
+	return sim.Duration(N-1)*m.P.AlphaHCA +
+		sim.FromSeconds(bytes/(m.P.BWHCA*float64(m.Topo.HCAs)))
+}
+
+// IntraBcast is Equation (5): the leader's copy-in of one node block plus
+// the L-1 peers' congested copy-out (the cg factor):
+//
+//	T = (a_L + ML/BW_L) + (a_L + ML/BW_L) * cg(ML, L-1)
+func (m Model) IntraBcast(M int) sim.Duration {
+	L := m.Topo.PPN
+	ML := M * L
+	copyIn := m.P.CopyTime(ML, 1)
+	if L <= 1 {
+		return copyIn
+	}
+	cg := m.P.CongestionShm(ML, L-1)
+	copyOut := m.P.AlphaCopy + sim.FromSeconds(float64(ML)*cg/m.P.BWCopy)
+	return copyIn + copyOut
+}
+
+// copyIn is the leader's single-stream publication of `bytes` into shm.
+func (m Model) copyIn(bytes int) sim.Duration { return m.P.CopyTime(bytes, 1) }
+
+// copyOut is one peer's congested copy of `bytes` out of shm while the
+// other L-1 peers do the same (the cg factor).
+func (m Model) copyOut(bytes int) sim.Duration {
+	L := m.Topo.PPN
+	if L <= 1 {
+		return 0
+	}
+	cg := m.P.CongestionShm(bytes, L-1)
+	return m.P.AlphaCopy + sim.FromSeconds(float64(bytes)*cg/m.P.BWCopy)
+}
+
+// MHAInterRing models the hierarchical allgather with Ring in phase 2 in
+// pipeline form — a refinement of the paper's Equation (7). The phase-2/3
+// machinery is a three-stage pipeline (wire, leader copy-in, peer
+// copy-out) over N-1 constant-size chunks: total time is the first
+// arrival, N-2 steady-state steps at the bottleneck stage, and the drain
+// of the final chunk. When copies are slower than the wire this degrades
+// gracefully to the copy-bound branch of the paper's equation.
+func (m Model) MHAInterRing(M int) sim.Duration {
+	N := m.Topo.Nodes
+	phase1 := m.MHAIntra(M)
+	if N <= 1 {
+		return phase1
+	}
+	ML := M * m.Topo.PPN
+	th, ci, co := m.TH(ML), m.copyIn(ML), m.copyOut(ML)
+	bottleneck := maxDur(th, maxDur(ci, co))
+	return phase1 + th + sim.Duration(N-2)*bottleneck + ci + co
+}
+
+// MHAInterRD models the hierarchical allgather with RD in phase 2 — a
+// pipeline refinement of the paper's Equation (6). Step k moves 2^k node
+// blocks; the copies of step k hide under the (twice larger) transfer of
+// step k+1 when the copy machinery keeps half the wire rate. The final
+// N/2-block broadcast is always exposed — exactly why RD "loses its
+// overlapping capability" (Section 3.2) and Ring wins at scale.
+func (m Model) MHAInterRD(M int) sim.Duration {
+	N := m.Topo.Nodes
+	phase1 := m.MHAIntra(M)
+	if N <= 1 {
+		return phase1
+	}
+	ML := M * m.Topo.PPN
+	if maxDur(m.copyIn(ML), m.copyOut(ML)) <= m.TH(2*ML) {
+		// Overlapped regime: transfers dominate, plus the exposed tail.
+		tail := N / 2 * ML
+		return phase1 + m.Phase2RD(M) + m.copyIn(tail) + m.copyOut(tail)
+	}
+	// Copy-bound regime: after the first chunk lands, the shm pipeline is
+	// the bottleneck for all N-1 blocks.
+	return phase1 + m.TH(ML) +
+		sim.Duration(N-1)*maxDur(m.copyIn(ML), m.copyOut(ML)) +
+		m.copyIn(ML) + m.copyOut(ML)
+}
+
+// PaperEq6 is Equation (6) exactly as published, for reference and for the
+// model-validation experiments' comparison column.
+func (m Model) PaperEq6(M int) sim.Duration {
+	N := m.Topo.Nodes
+	phase1 := m.MHAIntra(M)
+	if N <= 1 {
+		return phase1
+	}
+	ML := M * m.Topo.PPN
+	bcast := m.IntraBcast(M)
+	if bcast <= m.TH(2*ML) {
+		return phase1 + m.Phase2RD(M) + m.intraBcastOf(ML*(N/2))
+	}
+	return phase1 + m.TH(ML) + sim.Duration(N-1)*bcast
+}
+
+// PaperEq7 is Equation (7) exactly as published.
+func (m Model) PaperEq7(M int) sim.Duration {
+	N := m.Topo.Nodes
+	phase1 := m.MHAIntra(M)
+	if N <= 1 {
+		return phase1
+	}
+	ML := M * m.Topo.PPN
+	bcast := m.IntraBcast(M)
+	if bcast <= m.TH(ML) {
+		return phase1 + m.Phase2Ring(M) + bcast
+	}
+	return phase1 + m.TH(ML) + sim.Duration(N-1)*bcast
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// intraBcastOf is Equation (5) applied to an arbitrary byte count (used
+// for RD's oversized final chunk).
+func (m Model) intraBcastOf(bytes int) sim.Duration {
+	L := m.Topo.PPN
+	copyIn := m.P.CopyTime(bytes, 1)
+	if L <= 1 {
+		return copyIn
+	}
+	cg := m.P.CongestionShm(bytes, L-1)
+	return copyIn + m.P.AlphaCopy + sim.FromSeconds(float64(bytes)*cg/m.P.BWCopy)
+}
+
+// RingBetterThanRD predicts whether Ring beats RD in phase 2 for per-rank
+// message size M (the paper's Figure 8 crossover).
+func (m Model) RingBetterThanRD(M int) bool {
+	return m.MHAInterRing(M) < m.MHAInterRD(M)
+}
+
+// FlatRing estimates the flat ring allgather: N*L-1 steps, each limited by
+// the slowest link — the congested intra-node hops once PPN > 1.
+func (m Model) FlatRing(M int) sim.Duration {
+	P := m.Topo.Size()
+	if P <= 1 {
+		return m.TL(M)
+	}
+	step := m.TC(M) // intra-node hop under full concurrency
+	if m.Topo.PPN == 1 {
+		step = m.TH(M)
+	}
+	return m.TL(M) + sim.Duration(P-1)*step
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v *= 2 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,122 @@
+package sim
+
+import "fmt"
+
+// A Mailbox is an in-order message queue with virtual-time delivery: items
+// deposited with PutAt become visible at their arrival time, and consumers
+// block in Get until an item matching their predicate arrives. The mini-MPI
+// runtime builds tag matching and unexpected-message queues on top of one
+// mailbox per destination rank.
+type Mailbox struct {
+	eng     *Engine
+	name    string
+	items   []mailItem
+	waiters []*mailWaiter
+	arrived int64 // total items ever deposited
+}
+
+type mailItem struct {
+	at Time
+	v  interface{}
+}
+
+type mailWaiter struct {
+	p     *Proc
+	match func(interface{}) bool
+	got   interface{}
+	found bool
+}
+
+// NewMailbox creates a named mailbox bound to the engine.
+func (e *Engine) NewMailbox(name string) *Mailbox {
+	return &Mailbox{eng: e, name: name}
+}
+
+// PutAt deposits v into the mailbox at virtual time at (clamped to now).
+// The caller does not block; delivery happens via a scheduled event so the
+// depositor can keep computing while the message is "on the wire".
+func (m *Mailbox) PutAt(at Time, v interface{}) {
+	e := m.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at < e.now {
+		at = e.now
+	}
+	e.scheduleLocked(at, func() { m.depositLocked(v) })
+}
+
+// depositLocked runs as an event at the arrival time: hand the item to the
+// first waiting matcher (FIFO) or queue it. Caller holds the engine lock;
+// at most one process is woken, preserving determinism.
+func (m *Mailbox) depositLocked(v interface{}) {
+	m.arrived++
+	for _, w := range m.waiters {
+		if !w.found && w.match(v) {
+			w.found = true
+			w.got = v
+			m.removeWaiterLocked(w)
+			m.eng.wakeLocked(w.p)
+			return
+		}
+	}
+	m.items = append(m.items, mailItem{at: m.eng.now, v: v})
+}
+
+func (m *Mailbox) removeWaiterLocked(target *mailWaiter) {
+	for i, w := range m.waiters {
+		if w == target {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get blocks the calling process until an item matching match is available,
+// removes it from the mailbox, and returns it. Items are matched in arrival
+// order. The returned time is the item's arrival time (<= now).
+func (m *Mailbox) Get(p *Proc, what string, match func(interface{}) bool) interface{} {
+	e := m.eng
+	if p.eng != e {
+		panic("sim: Get across engines")
+	}
+	e.mu.Lock()
+	for i, it := range m.items {
+		if match(it.v) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			e.mu.Unlock()
+			return it.v
+		}
+	}
+	w := &mailWaiter{p: p, match: match}
+	m.waiters = append(m.waiters, w)
+	e.block(p, fmt.Sprintf("receiving %s from mailbox %s", what, m.name))
+	return w.got
+}
+
+// TryGet removes and returns the first queued item matching match without
+// blocking. It returns nil, false when nothing matches.
+func (m *Mailbox) TryGet(match func(interface{}) bool) (interface{}, bool) {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	for i, it := range m.items {
+		if match(it.v) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return it.v, true
+		}
+	}
+	return nil, false
+}
+
+// Pending reports how many delivered-but-unclaimed items are queued.
+func (m *Mailbox) Pending() int {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	return len(m.items)
+}
+
+// Arrived reports the total number of items ever delivered.
+func (m *Mailbox) Arrived() int64 {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	return m.arrived
+}

@@ -1,0 +1,220 @@
+package sim
+
+import "fmt"
+
+// A Resource is a FIFO-serialized server in virtual time: a network rail,
+// a DMA engine, a memory bus. A transfer occupies the resource for its
+// duration; requests issued while the resource is busy queue behind it.
+//
+// Because the engine serializes process execution in virtual-time order,
+// acquisitions always arrive with non-decreasing request times, which makes
+// the single freeAt register an exact FIFO queue model.
+type Resource struct {
+	eng    *Engine
+	name   string
+	freeAt Time
+	busy   Duration // total occupied time, for utilization reporting
+	uses   int64
+}
+
+// NewResource creates a named resource bound to the engine.
+func (e *Engine) NewResource(name string) *Resource {
+	return &Resource{eng: e, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire occupies the resource for d starting no earlier than the current
+// virtual time, queuing behind any in-flight use. It returns the start and
+// end times of the occupation. Acquire does not block the caller; callers
+// that must wait for completion follow with p.WaitUntil(end).
+func (r *Resource) Acquire(d Duration) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative acquire on %s", r.name))
+	}
+	e := r.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start = e.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + Time(d)
+	r.freeAt = end
+	r.busy += d
+	r.uses++
+	return start, end
+}
+
+// AcquireAfter is Acquire but the occupation cannot begin before notBefore.
+// It models a pipeline stage that consumes the output of an earlier stage.
+func (r *Resource) AcquireAfter(notBefore Time, d Duration) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative acquire on %s", r.name))
+	}
+	e := r.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start = e.now
+	if notBefore > start {
+		start = notBefore
+	}
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + Time(d)
+	r.freeAt = end
+	r.busy += d
+	r.uses++
+	return start, end
+}
+
+// AcquireTogether occupies every resource in rs for d simultaneously: the
+// occupation starts when the last of them becomes free, and all of them are
+// then busy until start+d. This models a transfer that needs both endpoints
+// (e.g. the sender's HCA transmit engine and the receiver's receive engine).
+func AcquireTogether(d Duration, rs ...*Resource) (start, end Time) {
+	if len(rs) == 0 {
+		panic("sim: AcquireTogether with no resources")
+	}
+	if d < 0 {
+		panic("sim: negative acquire")
+	}
+	e := rs[0].eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start = e.now
+	for _, r := range rs {
+		if r.eng != e {
+			panic("sim: AcquireTogether across engines")
+		}
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+	}
+	end = start + Time(d)
+	for _, r := range rs {
+		r.freeAt = end
+		r.busy += d
+		r.uses++
+	}
+	return start, end
+}
+
+// AcquireHetero occupies several resources simultaneously with per-
+// resource durations: the occupation starts when the last one becomes
+// free; resource i is then busy for ds[i]. It returns the common start
+// and the latest end. This models a transfer that holds pipeline stages
+// of different speeds at once (e.g. a NIC at line rate and a shared
+// switch uplink at its aggregate rate).
+func AcquireHetero(ds []Duration, rs ...*Resource) (start, end Time) {
+	if len(rs) == 0 || len(ds) != len(rs) {
+		panic("sim: AcquireHetero needs one duration per resource")
+	}
+	e := rs[0].eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start = e.now
+	for _, r := range rs {
+		if r.eng != e {
+			panic("sim: AcquireHetero across engines")
+		}
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+	}
+	for i, r := range rs {
+		if ds[i] < 0 {
+			panic("sim: negative acquire")
+		}
+		fin := start + Time(ds[i])
+		r.freeAt = fin
+		r.busy += ds[i]
+		r.uses++
+		if fin > end {
+			end = fin
+		}
+	}
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() Time {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	return r.freeAt
+}
+
+// BusyTime reports the cumulative occupied duration.
+func (r *Resource) BusyTime() Duration {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	return r.busy
+}
+
+// Uses reports how many acquisitions the resource has served.
+func (r *Resource) Uses() int64 {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	return r.uses
+}
+
+// A Gauge tracks how many operations of some class are concurrently in
+// flight in virtual time; cost models use it to apply congestion factors
+// (the paper's b and cg terms). Inc takes effect immediately; the matching
+// decrement is scheduled for the operation's completion time.
+type Gauge struct {
+	eng  *Engine
+	name string
+	val  int
+	peak int
+}
+
+// NewGauge creates a named gauge bound to the engine.
+func (e *Engine) NewGauge(name string) *Gauge {
+	return &Gauge{eng: e, name: name}
+}
+
+// Inc increments the gauge and returns the new value (the operation itself
+// is included in its own concurrency count).
+func (g *Gauge) Inc() int {
+	e := g.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g.val++
+	if g.val > g.peak {
+		g.peak = g.val
+	}
+	return g.val
+}
+
+// DecAt schedules the gauge to decrement at virtual time at.
+func (g *Gauge) DecAt(at Time) {
+	e := g.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at < e.now {
+		at = e.now
+	}
+	e.scheduleLocked(at, func() {
+		g.val--
+		if g.val < 0 {
+			panic(fmt.Sprintf("sim: gauge %s went negative", g.name))
+		}
+	})
+}
+
+// Value returns the current in-flight count.
+func (g *Gauge) Value() int {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	return g.val
+}
+
+// Peak returns the maximum in-flight count observed.
+func (g *Gauge) Peak() int {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	return g.peak
+}

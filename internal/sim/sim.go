@@ -1,0 +1,367 @@
+// Package sim implements a deterministic, conservative discrete-event
+// simulation engine with virtual time.
+//
+// Simulated processes are ordinary goroutines spawned with Engine.Spawn.
+// They interact with virtual time only through blocking primitives
+// (Sleep, WaitUntil, Counter.WaitGE, ...). The engine serializes process
+// execution: at any wall-clock instant at most one simulated process runs,
+// and simultaneous events are ordered by a monotone sequence number, so a
+// simulation produces bit-identical results on every run.
+//
+// The engine models a closed system: when every process is blocked, the
+// earliest pending event fires and advances the clock. If every process is
+// blocked and no events are pending, the simulation is deadlocked and Run
+// returns an error describing what each process was waiting for.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros reports t as fractional microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds reports t as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports d as fractional microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Seconds reports d as fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fus", t.Micros()) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
+
+// FromSeconds converts fractional seconds to a Duration, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Duration { return Duration(s*1e9 + 0.5) }
+
+// FromMicros converts fractional microseconds to a Duration.
+func FromMicros(us float64) Duration { return Duration(us*1e3 + 0.5) }
+
+// TransferTime is the classic alpha-beta cost: the time to move n bytes at
+// bw bytes/second after a fixed startup cost alpha.
+func TransferTime(alpha Duration, n int, bw float64) Duration {
+	if bw <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	return alpha + FromSeconds(float64(n)/bw)
+}
+
+// An event is a scheduled callback. Events with equal fire times execute in
+// the order they were scheduled (seq).
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	mu      sync.Mutex
+	quiesce *sync.Cond
+
+	now      Time
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc
+	runnable int
+	finished int
+	started  bool
+	failure  error
+	fired    int64 // events executed, for Stats
+}
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.quiesce = sync.NewCond(&e.mu)
+	return e
+}
+
+// Now returns the current virtual time. It is safe to call from simulated
+// processes and from event callbacks.
+func (e *Engine) Now() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine running the process body.
+type Proc struct {
+	eng   *Engine
+	id    int
+	name  string
+	fn    func(*Proc)
+	wake  chan struct{}
+	state string // what the proc is blocked on, for diagnostics
+	done  bool
+}
+
+// ID returns the process's spawn index (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Spawn registers a process to run when Engine.Run is called. fn runs in its
+// own goroutine; it must interact with virtual time only through p's
+// methods and sim types bound to the same engine.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		eng:   e,
+		id:    len(e.procs),
+		name:  name,
+		fn:    fn,
+		wake:  make(chan struct{}, 1),
+		state: "not started",
+	}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// ErrDeadlock is wrapped by the error Run returns when every process is
+// blocked with no pending events.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Run executes the simulation until every process has returned. It returns
+// a deadlock error (wrapping ErrDeadlock) if processes remain blocked with
+// no pending events, or the panic value if a process panicked.
+func (e *Engine) Run() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("sim: Run called twice")
+	}
+	e.started = true
+
+	// Launch every process goroutine; each blocks on its wake channel
+	// until its start event fires, serializing startup deterministically.
+	for _, p := range e.procs {
+		p := p
+		go e.runProc(p)
+		e.scheduleLocked(e.now, func() { e.wakeLocked(p) })
+	}
+
+	for {
+		for e.runnable > 0 && e.failure == nil {
+			e.quiesce.Wait()
+		}
+		if e.failure != nil {
+			return e.failure
+		}
+		if e.finished == len(e.procs) && e.events.Len() == 0 {
+			return nil
+		}
+		if e.events.Len() == 0 {
+			return e.deadlockErrorLocked()
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire() // runs with e.mu held; may wake at most a bounded set of procs
+	}
+}
+
+// Stats reports the engine's execution counters.
+type Stats struct {
+	// Events is the number of events executed so far.
+	Events int64
+	// Processes is the number of spawned processes; Finished of them have
+	// returned.
+	Processes, Finished int
+	// Now is the current virtual time.
+	Now Time
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Events:    e.fired,
+		Processes: len(e.procs),
+		Finished:  e.finished,
+		Now:       e.now,
+	}
+}
+
+func (e *Engine) runProc(p *Proc) {
+	defer func() {
+		e.mu.Lock()
+		if r := recover(); r != nil {
+			if e.failure == nil {
+				e.failure = fmt.Errorf("sim: process %q (id %d) panicked: %v\n%s",
+					p.name, p.id, r, debug.Stack())
+			}
+		}
+		p.done = true
+		p.state = "finished"
+		e.finished++
+		e.runnable--
+		if e.runnable == 0 {
+			e.quiesce.Signal()
+		}
+		e.mu.Unlock()
+	}()
+	<-p.wake // start event; Run pre-counted us as runnable via wakeLocked
+	p.fn(p)
+}
+
+// scheduleLocked enqueues fire to run at time at. Caller holds e.mu.
+func (e *Engine) scheduleLocked(at Time, fire func()) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fire: fire})
+}
+
+// Schedule enqueues fire to run at virtual time at (>= now). fire executes
+// on the scheduler goroutine with the engine lock held; it must not block
+// and may only call *Locked engine helpers or wake processes via counters.
+func (e *Engine) Schedule(at Time, fire func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at < e.now {
+		at = e.now
+	}
+	e.scheduleLocked(at, fire)
+}
+
+// After enqueues fire to run d from now.
+func (e *Engine) After(d Duration, fire func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	at := e.now + Time(d)
+	e.scheduleLocked(at, fire)
+}
+
+// wakeLocked marks p runnable and releases it. Caller holds e.mu. The wake
+// channel is buffered so this never blocks.
+func (e *Engine) wakeLocked(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
+	e.runnable++
+	p.state = "running"
+	p.wake <- struct{}{}
+}
+
+// block parks the calling process until something wakes it. Caller holds
+// e.mu; block returns with e.mu released.
+func (e *Engine) block(p *Proc, state string) {
+	p.state = state
+	e.runnable--
+	if e.runnable == 0 {
+		e.quiesce.Signal()
+	}
+	e.mu.Unlock()
+	<-p.wake
+}
+
+// WaitUntil blocks the process until virtual time t. If t is not after the
+// current time it returns immediately without yielding.
+func (p *Proc) WaitUntil(t Time) {
+	e := p.eng
+	e.mu.Lock()
+	if t <= e.now {
+		e.mu.Unlock()
+		return
+	}
+	e.scheduleLocked(t, func() { e.wakeLocked(p) })
+	e.block(p, fmt.Sprintf("sleeping until %v", t))
+}
+
+// Sleep blocks the process for a span of virtual time. Sleep models local
+// work (compute, memory copies whose cost was computed up front).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e := p.eng
+	e.mu.Lock()
+	e.scheduleLocked(e.now+Time(d), func() { e.wakeLocked(p) })
+	e.block(p, fmt.Sprintf("sleeping %v", d))
+}
+
+// Yield reschedules the process behind every event already pending at the
+// current time, providing a deterministic interleaving point.
+func (p *Proc) Yield() {
+	e := p.eng
+	e.mu.Lock()
+	e.scheduleLocked(e.now, func() { e.wakeLocked(p) })
+	e.block(p, "yielding")
+}
+
+func (e *Engine) deadlockErrorLocked() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "at t=%v: %d of %d processes blocked forever:\n",
+		e.now, len(e.procs)-e.finished, len(e.procs))
+	blocked := make([]*Proc, 0, len(e.procs))
+	for _, p := range e.procs {
+		if !p.done {
+			blocked = append(blocked, p)
+		}
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].id < blocked[j].id })
+	for _, p := range blocked {
+		fmt.Fprintf(&b, "  %s: %s\n", p.name, p.state)
+	}
+	return fmt.Errorf("%w %s", ErrDeadlock, b.String())
+}

@@ -1,0 +1,191 @@
+// Package topology describes the simulated cluster: how many nodes, how
+// many processes per node (PPN), how many HCAs (network rails) per node,
+// and how MPI ranks map onto nodes.
+//
+// The default mapping is "block" (consecutive ranks fill a node before the
+// next node starts), which is how the paper's experiments place ranks
+// (e.g. "32 nodes, 32 PPN" = ranks 0..31 on node 0, 32..63 on node 1, ...).
+package topology
+
+import "fmt"
+
+// Layout selects how ranks map to nodes.
+type Layout int
+
+const (
+	// Block places ranks 0..L-1 on node 0, L..2L-1 on node 1, and so on.
+	Block Layout = iota
+	// Cyclic deals ranks round-robin across nodes: rank r is on node r % N.
+	Cyclic
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Cluster is an immutable description of the simulated machine.
+type Cluster struct {
+	// Nodes is the number of compute nodes (the paper's N).
+	Nodes int
+	// PPN is the number of MPI processes per node (the paper's L).
+	PPN int
+	// HCAs is the number of network adapters per node (the paper's H).
+	HCAs int
+	// Layout is the rank-to-node mapping.
+	Layout Layout
+	// Sockets optionally records NUMA domains per node (the paper's future
+	// work is a 3-level NUMA-aware design); 0 or 1 means flat memory.
+	Sockets int
+}
+
+// New returns a block-layout cluster and panics on invalid shapes. Use a
+// composite literal when a different layout is needed.
+func New(nodes, ppn, hcas int) Cluster {
+	c := Cluster{Nodes: nodes, PPN: ppn, HCAs: hcas, Layout: Block}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate reports whether the cluster shape is usable.
+func (c Cluster) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("topology: need at least 1 node, have %d", c.Nodes)
+	}
+	if c.PPN < 1 {
+		return fmt.Errorf("topology: need at least 1 process per node, have %d", c.PPN)
+	}
+	if c.HCAs < 1 {
+		return fmt.Errorf("topology: need at least 1 HCA per node, have %d", c.HCAs)
+	}
+	if c.Layout != Block && c.Layout != Cyclic {
+		return fmt.Errorf("topology: unknown layout %v", c.Layout)
+	}
+	if c.Sockets < 0 {
+		return fmt.Errorf("topology: negative socket count %d", c.Sockets)
+	}
+	if c.Sockets > 1 && c.PPN%c.Sockets != 0 {
+		return fmt.Errorf("topology: PPN %d not divisible by %d sockets", c.PPN, c.Sockets)
+	}
+	return nil
+}
+
+// NumaSockets reports the effective socket count (at least 1).
+func (c Cluster) NumaSockets() int {
+	if c.Sockets < 1 {
+		return 1
+	}
+	return c.Sockets
+}
+
+// SocketOf returns the NUMA socket hosting the given local rank index.
+// Locals are split into contiguous, equal-sized socket groups.
+func (c Cluster) SocketOf(local int) int {
+	if local < 0 || local >= c.PPN {
+		panic(fmt.Sprintf("topology: local %d out of range [0,%d)", local, c.PPN))
+	}
+	s := c.NumaSockets()
+	if s == 1 {
+		return 0
+	}
+	return local / (c.PPN / s)
+}
+
+// SocketLocals returns the local indices belonging to a socket.
+func (c Cluster) SocketLocals(socket int) []int {
+	s := c.NumaSockets()
+	if socket < 0 || socket >= s {
+		panic(fmt.Sprintf("topology: socket %d out of range [0,%d)", socket, s))
+	}
+	per := c.PPN / s
+	out := make([]int, per)
+	for i := range out {
+		out[i] = socket*per + i
+	}
+	return out
+}
+
+// SameSocket reports whether two local indices share a NUMA socket.
+func (c Cluster) SameSocket(localA, localB int) bool {
+	return c.SocketOf(localA) == c.SocketOf(localB)
+}
+
+// Size returns the total number of ranks (N * L).
+func (c Cluster) Size() int { return c.Nodes * c.PPN }
+
+// NodeOf returns the node hosting rank r.
+func (c Cluster) NodeOf(r int) int {
+	c.checkRank(r)
+	if c.Layout == Cyclic {
+		return r % c.Nodes
+	}
+	return r / c.PPN
+}
+
+// LocalOf returns rank r's index within its node (0..PPN-1).
+func (c Cluster) LocalOf(r int) int {
+	c.checkRank(r)
+	if c.Layout == Cyclic {
+		return r / c.Nodes
+	}
+	return r % c.PPN
+}
+
+// RankOf returns the rank at (node, local).
+func (c Cluster) RankOf(node, local int) int {
+	if node < 0 || node >= c.Nodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, c.Nodes))
+	}
+	if local < 0 || local >= c.PPN {
+		panic(fmt.Sprintf("topology: local %d out of range [0,%d)", local, c.PPN))
+	}
+	if c.Layout == Cyclic {
+		return local*c.Nodes + node
+	}
+	return node*c.PPN + local
+}
+
+// LeaderOf returns the designated leader rank of a node (local index 0).
+func (c Cluster) LeaderOf(node int) int { return c.RankOf(node, 0) }
+
+// IsLeader reports whether rank r is its node's leader.
+func (c Cluster) IsLeader(r int) bool { return c.LocalOf(r) == 0 }
+
+// SameNode reports whether two ranks share a node.
+func (c Cluster) SameNode(a, b int) bool { return c.NodeOf(a) == c.NodeOf(b) }
+
+// NodeRanks returns the ranks on a node in local order.
+func (c Cluster) NodeRanks(node int) []int {
+	out := make([]int, c.PPN)
+	for l := 0; l < c.PPN; l++ {
+		out[l] = c.RankOf(node, l)
+	}
+	return out
+}
+
+// Leaders returns the leader rank of every node in node order.
+func (c Cluster) Leaders() []int {
+	out := make([]int, c.Nodes)
+	for n := 0; n < c.Nodes; n++ {
+		out[n] = c.LeaderOf(n)
+	}
+	return out
+}
+
+func (c Cluster) checkRank(r int) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", r, c.Size()))
+	}
+}
+
+func (c Cluster) String() string {
+	return fmt.Sprintf("%d nodes x %d ppn x %d HCAs (%s)", c.Nodes, c.PPN, c.HCAs, c.Layout)
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace-event format ("Trace Event
+// Format", the JSON consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"`  // microseconds
+	Dur   float64                `json:"dur"` // microseconds
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recorded events as a Chrome trace-event
+// JSON array: one complete ("X") event per recorded interval, with the
+// simulated rank as the thread id, so chrome://tracing or Perfetto lay
+// out the timeline exactly like the ASCII Gantt but zoomable.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := r.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Cat:   string(ev.Cat),
+			Phase: "X",
+			TS:    ev.Start.Micros(),
+			Dur:   (ev.End - ev.Start).Micros(),
+			PID:   0,
+			TID:   ev.Rank,
+		}
+		if ev.Peer >= 0 || ev.Bytes > 0 {
+			ce.Args = map[string]interface{}{}
+			if ev.Peer >= 0 {
+				ce.Args["peer"] = ev.Peer
+			}
+			if ev.Bytes > 0 {
+				ce.Args["bytes"] = ev.Bytes
+			}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

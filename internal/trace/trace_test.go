@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mha/internal/sim"
+)
+
+func ev(rank int, cat Category, start, end int64) Event {
+	return Event{Rank: rank, Cat: cat, Name: string(cat), Start: sim.Time(start), End: sim.Time(end), Peer: -1}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Add(ev(0, CatSend, 0, 1)) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+	r.Reset()
+	if !strings.Contains(r.Timeline(40), "no events") {
+		t.Fatal("nil recorder timeline should say no events")
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	r := New()
+	r.Add(ev(1, CatRecv, 50, 60))
+	r.Add(ev(0, CatSend, 10, 20))
+	r.Add(ev(2, CatHCA, 10, 30))
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Rank != 0 || got[1].Rank != 2 || got[2].Rank != 1 {
+		t.Fatalf("order wrong: %+v", got)
+	}
+}
+
+func TestTimelineRendersLanes(t *testing.T) {
+	r := New()
+	r.Add(ev(0, CatSend, 0, 500))
+	r.Add(ev(1, CatRecv, 500, 1000))
+	out := r.Timeline(40)
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "R") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestTimelineWaitDoesNotOverwrite(t *testing.T) {
+	r := New()
+	r.Add(ev(0, CatSend, 0, 1000))
+	r.Add(ev(0, CatWait, 0, 1000))
+	out := r.Timeline(20)
+	if strings.Contains(strings.Split(out, "\n")[1], ".") {
+		t.Fatalf("wait overwrote send:\n%s", out)
+	}
+}
+
+func TestTimelineUnknownCategory(t *testing.T) {
+	r := New()
+	r.Add(ev(0, Category("weird"), 0, 10))
+	if !strings.Contains(r.Timeline(20), "?") {
+		t.Fatal("unknown category should render as ?")
+	}
+}
+
+func TestListingIncludesDetails(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 3, Cat: CatHCA, Name: "hca(x2)", Start: 1000, End: 2000, Peer: 7, Bytes: 4096})
+	out := r.Listing()
+	for _, want := range []string{"rank   3", "hca(x2)", "peer=7", "4096B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := New()
+	r.Add(ev(0, CatSend, 0, 1))
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	r := New()
+	r.Add(ev(0, CatSend, 0, 100))
+	out := r.Timeline(1) // clamped up to 10
+	if len(strings.Split(out, "\n")[1]) < 10 {
+		t.Fatalf("width not clamped:\n%s", out)
+	}
+}
+
+// Property: the timeline always has one lane per rank up to the max rank,
+// and rendering never panics for arbitrary event sets.
+func TestQuickTimelineLaneCount(t *testing.T) {
+	cats := []Category{CatSend, CatRecv, CatHCA, CatCopyIn, CatCopyOut, CatCompute, CatWait}
+	f := func(raw []struct {
+		Rank  uint8
+		Cat   uint8
+		Start uint16
+		Dur   uint16
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := New()
+		maxRank := 0
+		for _, e := range raw {
+			rank := int(e.Rank) % 16
+			if rank > maxRank {
+				maxRank = rank
+			}
+			start := int64(e.Start)
+			r.Add(Event{
+				Rank:  rank,
+				Cat:   cats[int(e.Cat)%len(cats)],
+				Start: sim.Time(start),
+				End:   sim.Time(start + int64(e.Dur)),
+				Peer:  -1,
+			})
+		}
+		out := r.Timeline(60)
+		lanes := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "rank ") {
+				lanes++
+			}
+		}
+		return lanes == maxRank+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 1, Cat: CatHCA, Name: "hca(x2)", Start: 1000, End: 3000, Peer: 4, Bytes: 512})
+	r.Add(Event{Rank: 0, Cat: CatCompute, Name: "compute", Start: 0, End: 500, Peer: -1})
+	var buf strings.Builder
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	// Sorted by start: compute first.
+	if events[0]["name"] != "compute" || events[0]["ph"] != "X" {
+		t.Fatalf("first event wrong: %v", events[0])
+	}
+	second := events[1]
+	if second["tid"].(float64) != 1 || second["dur"].(float64) != 2 {
+		t.Fatalf("hca event wrong: %v", second)
+	}
+	args := second["args"].(map[string]interface{})
+	if args["peer"].(float64) != 4 || args["bytes"].(float64) != 512 {
+		t.Fatalf("args wrong: %v", args)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := New().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty trace = %q", buf.String())
+	}
+}

@@ -1,0 +1,236 @@
+// Package mha is a Go reproduction of "Designing Hierarchical Multi-HCA
+// Aware Allgather in MPI" (Tran et al., ICPP Workshops 2022): the MHA
+// collective algorithms, the conventional and two-level baselines they are
+// evaluated against, the analytic cost models of the paper's Section 4,
+// and the deterministic virtual-time cluster simulator everything runs on.
+//
+// The package is a facade over the internal implementation: it re-exports
+// the types and functions a user composes. A minimal program looks like
+//
+//	w := mha.NewWorld(mha.Config{Topo: mha.NewCluster(4, 8, 2)})
+//	err := w.Run(func(p *mha.Proc) {
+//		send := mha.Bytes([]byte{byte(p.Rank())})
+//		recv := mha.NewBuf(p.Size())
+//		mha.Allgather(p, w, send, recv)
+//	})
+//
+// Simulated ranks are goroutines; payloads really move (so results are
+// verifiable), and virtual time comes from a calibrated cost model of the
+// paper's testbed (Thor: 2x HDR100 InfiniBand rails per node, CMA
+// intra-node, shared-memory chunk pipelines). Pass Phantom buffers to run
+// the paper's largest configurations (1024 ranks, multi-MB buffers)
+// without materializing the data.
+package mha
+
+import (
+	"mha/internal/collectives"
+	"mha/internal/core"
+	"mha/internal/machines"
+	"mha/internal/mpi"
+	"mha/internal/netmodel"
+	"mha/internal/perfmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+	"mha/internal/trace"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation.
+type (
+	// Cluster describes the simulated machine: nodes x PPN x HCAs.
+	Cluster = topology.Cluster
+	// Params is the communication cost model (Table 1 of the paper).
+	Params = netmodel.Params
+	// Config configures a simulated MPI job.
+	Config = mpi.Config
+	// World is one simulated MPI job.
+	World = mpi.World
+	// Proc is the per-rank handle inside World.Run.
+	Proc = mpi.Proc
+	// Comm is a communicator (group of ranks with its own numbering).
+	Comm = mpi.Comm
+	// Buf is a real or phantom message buffer.
+	Buf = mpi.Buf
+	// Request is an in-flight nonblocking operation.
+	Request = mpi.Request
+	// Profile is one library's collective selection logic.
+	Profile = collectives.Profile
+	// Reducer combines payloads element-wise (allreduce).
+	Reducer = collectives.Reducer
+	// Model evaluates the paper's analytic cost equations.
+	Model = perfmodel.Model
+	// Recorder collects timeline events for trace rendering.
+	Recorder = trace.Recorder
+	// Time is virtual nanoseconds since simulation start.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// InterConfig customizes the hierarchical MHA allgather.
+	InterConfig = core.InterConfig
+	// OffloadPoint is one sample of the offload tuning curve (Figure 5).
+	OffloadPoint = core.OffloadPoint
+)
+
+// NewCluster returns a block-layout cluster of nodes x ppn with hcas
+// network rails per node.
+func NewCluster(nodes, ppn, hcas int) Cluster { return topology.New(nodes, ppn, hcas) }
+
+// Thor returns the default cost-model calibration (the paper's testbed).
+func Thor() *Params { return netmodel.Thor() }
+
+// ThetaGPU returns an 8-rail HDR200 calibration for rail-scaling studies.
+func ThetaGPU() *Params { return netmodel.ThetaGPU() }
+
+// NewWorld builds a simulated MPI job.
+func NewWorld(cfg Config) *World { return mpi.New(cfg) }
+
+// NewTracer returns an empty timeline recorder to pass in Config.Tracer.
+func NewTracer() *Recorder { return trace.New() }
+
+// Buffer constructors.
+var (
+	// Bytes wraps a byte slice as a real buffer.
+	Bytes = mpi.Bytes
+	// NewBuf allocates a zeroed real buffer.
+	NewBuf = mpi.NewBuf
+	// Phantom returns a size-only buffer (no backing bytes).
+	Phantom = mpi.Phantom
+)
+
+// Allgather is the paper's contribution under its top-level entry point:
+// the multi-HCA-aware allgather (MHA-intra on one node, the hierarchical
+// MHA-inter design across nodes).
+func Allgather(p *Proc, w *World, send, recv Buf) { core.MHAAllgather(p, w, send, recv) }
+
+// AllgatherCfg runs the hierarchical design with explicit configuration
+// (phase-2 algorithm, overlap and phase-1 ablations).
+func AllgatherCfg(p *Proc, w *World, send, recv Buf, cfg InterConfig) {
+	core.MHAInterAllgatherCfg(p, w, send, recv, cfg)
+}
+
+// IntraAllgather is MHA-intra (Section 3.1) on an arbitrary single-node
+// communicator, with the analytic offload of Equation (1).
+func IntraAllgather(p *Proc, c *Comm, send, recv Buf) {
+	core.MHAIntraAllgather(p, c, send, recv)
+}
+
+// Allreduce is the improved ring allreduce of Section 5.4 (ring
+// reduce-scatter + MHA allgather). The buffer must be a multiple of
+// 8*size bytes; see MHAProfile for a padding-free entry point.
+func Allreduce(p *Proc, w *World, buf Buf, red Reducer) { core.MHAAllreduce(p, w, buf, red) }
+
+// SumF64 returns the float64-sum reducer used by the evaluation; MaxF64
+// and MinF64 are the MPI_MAX/MPI_MIN analogues.
+func SumF64() Reducer { return collectives.SumF64() }
+
+// MaxF64 returns the element-wise float64 maximum reducer.
+func MaxF64() Reducer { return collectives.MaxF64() }
+
+// MinF64 returns the element-wise float64 minimum reducer.
+func MinF64() Reducer { return collectives.MinF64() }
+
+// The compared implementations, exposed as profiles.
+var (
+	// MHAProfile is the paper's design.
+	MHAProfile = core.Profile
+	// HPCXProfile models NVIDIA HPC-X (flat algorithms, pt2pt multirail).
+	HPCXProfile = collectives.HPCX
+	// MVAPICH2XProfile models MVAPICH2-X (two-level, sequential phases).
+	MVAPICH2XProfile = collectives.MVAPICH2X
+)
+
+// Baseline algorithms, exported for comparison studies.
+var (
+	RingAllgather         = collectives.RingAllgather
+	RDAllgather           = collectives.RDAllgather
+	BruckAllgather        = collectives.BruckAllgather
+	DirectSpreadAllgather = collectives.DirectSpreadAllgather
+	RingAllreduce         = collectives.RingAllreduce
+	RDAllreduce           = collectives.RDAllreduce
+	// MultiLeaderAllgather is the Kandalla et al. multi-leader design with
+	// a configurable leader count per node.
+	MultiLeaderAllgather = collectives.MultiLeaderAllgather
+)
+
+// Tuning tables: measured algorithm-selection tables in the style
+// production MPI libraries ship (see cmd/mhatune).
+type (
+	// TuningTable is a persisted per-size selection table.
+	TuningTable = core.TuningTable
+	// TuningEntry is one size class of a TuningTable.
+	TuningEntry = core.TuningEntry
+)
+
+// BuildTuningTable measures the best phase-2 algorithm and offload per
+// size class; LoadTuningTable reads a table saved with TuningTable.Save.
+var (
+	BuildTuningTable = core.BuildTuningTable
+	LoadTuningTable  = core.LoadTuningTable
+)
+
+// NumaThor returns the Thor calibration with a 1.5x cross-socket CMA
+// penalty, for the 3-level NUMA studies (set Cluster.Sockets > 1).
+func NumaThor() *Params { return netmodel.NumaThor() }
+
+// Allgather3Level is the NUMA-aware 3-level hierarchical allgather (the
+// paper's Section 7 future work): intra-socket, inter-socket, inter-node.
+func Allgather3Level(p *Proc, w *World, send, recv Buf) {
+	core.MHA3LevelAllgather(p, w, send, recv)
+}
+
+// The hierarchical multi-rail template applied to the other collectives
+// (the paper's "address other collectives" future work), with their flat
+// baselines alongside.
+var (
+	Bcast            = core.MHABcast
+	Reduce           = core.MHAReduce
+	Gather           = core.MHAGather
+	Scatter          = core.MHAScatter
+	Alltoall         = core.MHAAlltoall
+	BinomialBcast    = collectives.BinomialBcast
+	BinomialReduce   = collectives.BinomialReduce
+	LinearGather     = collectives.LinearGather
+	LinearScatter    = collectives.LinearScatter
+	PairwiseAlltoall = collectives.PairwiseAlltoall
+)
+
+// AllgatherRequest is the handle of a nonblocking allgather; complete it
+// with Wait.
+type AllgatherRequest = collectives.AllgatherRequest
+
+// IAllgather starts a nonblocking allgather (dissemination schedule), so
+// the caller can compute between the start and the Wait.
+func IAllgather(p *Proc, c *Comm, send, recv Buf) *AllgatherRequest {
+	return collectives.IAllgatherDirect(p, c, send, recv)
+}
+
+// Machine is a named cluster preset (topology + calibration).
+type Machine = machines.Machine
+
+// Machines lists the named presets (thor, thor-numa, thetagpu, ...);
+// MachineByName resolves one.
+var (
+	Machines      = machines.All
+	MachineByName = machines.Get
+)
+
+// NewModel builds the analytic cost model of Section 4 for a shape.
+func NewModel(p *Params, c Cluster) Model { return perfmodel.New(p, c) }
+
+// TuneOffload runs the empirical offload search of Section 3.1/Figure 5 on
+// a single-node topology, returning the best offload and the sampled
+// curve.
+func TuneOffload(topo Cluster, prm *Params, msgSize, points int) (float64, []OffloadPoint) {
+	return core.TuneOffload(topo, prm, msgSize, points)
+}
+
+// MeasureAllgather times one phantom-mode allgather of a profile on a
+// fresh world — the building block for custom sweeps.
+func MeasureAllgather(topo Cluster, prm *Params, msgSize int, prof Profile) Duration {
+	return core.MeasureProfileAllgather(topo, prm, msgSize, prof)
+}
+
+// MeasureAllreduce times one phantom-mode allreduce of n bytes.
+func MeasureAllreduce(topo Cluster, prm *Params, n int, prof Profile) Duration {
+	return core.MeasureProfileAllreduce(topo, prm, n, prof)
+}

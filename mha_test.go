@@ -1,0 +1,202 @@
+package mha_test
+
+// Facade tests: exercise the library exactly as an external user would,
+// through the public mha package only.
+
+import (
+	"bytes"
+	"testing"
+
+	"mha"
+)
+
+func TestPublicAllgatherRoundTrip(t *testing.T) {
+	topo := mha.NewCluster(2, 4, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	n := topo.Size()
+	const m = 256
+	err := w.Run(func(p *mha.Proc) {
+		send := mha.NewBuf(m)
+		for i := range send.Data() {
+			send.Data()[i] = byte(p.Rank())
+		}
+		recv := mha.NewBuf(n * m)
+		mha.Allgather(p, w, send, recv)
+		for r := 0; r < n; r++ {
+			if recv.Data()[r*m] != byte(r) || recv.Data()[r*m+m-1] != byte(r) {
+				t.Errorf("rank %d: block %d corrupted", p.Rank(), r)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicProfilesOrdering(t *testing.T) {
+	topo := mha.NewCluster(4, 8, 2)
+	prm := mha.Thor()
+	m := 64 << 10
+	mhaT := mha.MeasureAllgather(topo, prm, m, mha.MHAProfile())
+	hpcx := mha.MeasureAllgather(topo, prm, m, mha.HPCXProfile())
+	mvp := mha.MeasureAllgather(topo, prm, m, mha.MVAPICH2XProfile())
+	if mhaT >= hpcx || mhaT >= mvp {
+		t.Fatalf("MHA (%v) should beat HPC-X (%v) and MVAPICH2-X (%v)", mhaT, hpcx, mvp)
+	}
+}
+
+func TestPublicAllreduce(t *testing.T) {
+	topo := mha.NewCluster(2, 2, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	n := topo.Size()
+	err := w.Run(func(p *mha.Proc) {
+		// 8*n bytes so chunks are uniform.
+		buf := mha.NewBuf(8 * n)
+		buf.Data()[p.Rank()*8] = 1 // distinct contribution per rank
+		mha.Allreduce(p, w, buf, mha.SumF64())
+		_ = buf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicModelAndTuning(t *testing.T) {
+	topo := mha.NewCluster(8, 32, 2)
+	model := mha.NewModel(mha.Thor(), topo)
+	if d := model.OffloadD(1 << 20); d <= 0 || d > 31 {
+		t.Fatalf("OffloadD = %v", d)
+	}
+	if !model.RingBetterThanRD(256<<10) || model.RingBetterThanRD(64) {
+		t.Fatal("RD/Ring selection wrong through the facade")
+	}
+	best, curve := mha.TuneOffload(mha.NewCluster(1, 4, 2), mha.Thor(), 1<<20, 4)
+	if best <= 0 || len(curve) == 0 {
+		t.Fatalf("tuner: d=%v curve=%d", best, len(curve))
+	}
+}
+
+func TestPublicTuningTableRoundTrip(t *testing.T) {
+	table := mha.BuildTuningTable(mha.NewCluster(2, 4, 2), mha.Thor(), []int{1 << 10, 256 << 10})
+	var buf bytes.Buffer
+	if err := table.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mha.LoadTuningTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != 2 {
+		t.Fatalf("entries = %d", len(loaded.Entries))
+	}
+}
+
+func TestPublicOtherCollectives(t *testing.T) {
+	topo := mha.NewCluster(2, 2, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	n := topo.Size()
+	const m = 64
+	err := w.Run(func(p *mha.Proc) {
+		// Bcast from rank 1.
+		b := mha.NewBuf(m)
+		if p.Rank() == 1 {
+			for i := range b.Data() {
+				b.Data()[i] = 7
+			}
+		}
+		mha.Bcast(p, w, 1, b)
+		if b.Data()[0] != 7 {
+			t.Errorf("rank %d: bcast failed", p.Rank())
+		}
+		// Alltoall of one byte blocks... use m-byte blocks.
+		send := mha.NewBuf(n * m)
+		for d := 0; d < n; d++ {
+			send.Data()[d*m] = byte(10*p.Rank() + d)
+		}
+		recv := mha.NewBuf(n * m)
+		mha.Alltoall(p, w, send, recv)
+		for s := 0; s < n; s++ {
+			if recv.Data()[s*m] != byte(10*s+p.Rank()) {
+				t.Errorf("rank %d: alltoall block from %d wrong", p.Rank(), s)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicNUMA(t *testing.T) {
+	topo := mha.Cluster{Nodes: 2, PPN: 4, HCAs: 2, Sockets: 2}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := mha.NewWorld(mha.Config{Topo: topo, Params: mha.NumaThor()})
+	n := topo.Size()
+	const m = 32
+	err := w.Run(func(p *mha.Proc) {
+		send := mha.NewBuf(m)
+		send.Data()[0] = byte(p.Rank())
+		recv := mha.NewBuf(n * m)
+		mha.Allgather3Level(p, w, send, recv)
+		for r := 0; r < n; r++ {
+			if recv.Data()[r*m] != byte(r) {
+				t.Errorf("rank %d: 3-level block %d wrong", p.Rank(), r)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTracer(t *testing.T) {
+	rec := mha.NewTracer()
+	topo := mha.NewCluster(2, 2, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo, Tracer: rec, Phantom: true})
+	err := w.Run(func(p *mha.Proc) {
+		mha.Allgather(p, w, mha.Phantom(1<<16), mha.Phantom(1<<16*4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	var sb bytes.Buffer
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() < 10 {
+		t.Fatal("chrome trace empty")
+	}
+}
+
+func TestPublicIAllgatherAndMachines(t *testing.T) {
+	m, ok := mha.MachineByName("thor")
+	if !ok || m.Topo.Size() != 1024 {
+		t.Fatalf("thor preset: %+v ok=%v", m, ok)
+	}
+	if len(mha.Machines()) < 5 {
+		t.Fatal("machine catalog too small")
+	}
+	topo := mha.NewCluster(2, 2, 2)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	n := topo.Size()
+	err := w.Run(func(p *mha.Proc) {
+		send := mha.NewBuf(16)
+		send.Data()[0] = byte(p.Rank())
+		recv := mha.NewBuf(16 * n)
+		req := mha.IAllgather(p, w.CommWorld(), send, recv)
+		p.Compute(mha.Duration(10000)) // overlapped work
+		req.Wait()
+		for r := 0; r < n; r++ {
+			if recv.Data()[r*16] != byte(r) {
+				t.Errorf("rank %d: block %d wrong", p.Rank(), r)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
