@@ -116,6 +116,46 @@ func TestSmokeMhatuneRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSmokeMhafaultResilienceTable(t *testing.T) {
+	out := run(t, "mhafault", "-nodes", "2", "-ppn", "2", "-sizes", "64K",
+		"-algs", "mha,ring", "-naive")
+	for _, want := range []string{"resilience under the fault schedule",
+		"aware vs naive", "per-rail utilization", "node0.rail1", "mha", "ring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhafault output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMhafaultSpecAndChrome(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "faults.txt")
+	if err := os.WriteFile(spec, []byte("down node=0 rail=1 until=40us\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "trace.json")
+	out := run(t, "mhafault", "-nodes", "2", "-ppn", "2", "-sizes", "32K",
+		"-algs", "mha", "-spec", spec, "-chrome", tmp, "-timeline")
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "wrote") {
+		t.Fatalf("mhafault trace output unexpected:\n%s", out)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil || !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Fatalf("chrome trace file bad: %v, %.40q", err, data)
+	}
+}
+
+func TestSmokeMhafaultRejectsBadSpec(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "mhafault"), "-inline", "explode node=0")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad spec accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown fault kind") {
+		t.Fatalf("bad-spec diagnostic unexpected:\n%s", out)
+	}
+}
+
 func TestSmokeMhaosuMachinePreset(t *testing.T) {
 	out := run(t, "mhaosu", "allgather", "-machine", "thetagpu", "-nodes", "2", "-ppn", "4",
 		"-min", "16384", "-max", "65536")

@@ -64,10 +64,20 @@ func MHAIntraAllgatherD(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf, d float64)
 	}
 	if d < 0 {
 		// Equation (1) with L = the communicator's size (a whole node, or
-		// one NUMA socket in the 3-level design).
+		// one NUMA socket in the 3-level design). Under a fault schedule,
+		// plan the offload for the node's steady surviving rail count —
+		// every rank of the node derives the same count regardless of when
+		// it asks, so the byte-exact plans still agree.
 		t := p.World().Topo()
 		t.Nodes, t.PPN, t.Sockets = 1, L, 0
-		d = perfmodel.New(p.World().Params(), t).OffloadD(m)
+		if h := p.World().Health(); h.Faulty() {
+			t.HCAs = h.PlanRails(p.Node())
+		}
+		if t.HCAs == 0 {
+			d = 0 // every rail is dead for the whole run: pure CPU spread
+		} else {
+			d = perfmodel.New(p.World().Params(), t).OffloadD(m)
+		}
 	}
 	if max := float64(L - 1); d > max {
 		d = max

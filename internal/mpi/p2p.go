@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 
 	"mha/internal/netmodel"
 	"mha/internal/sim"
@@ -27,8 +28,15 @@ type SendOption func(*sendOpts)
 // loops the transfer back into the node, leaving the CPUs free.
 func ViaHCA() SendOption { return func(o *sendOpts) { o.forceHCA = true } }
 
-// ViaRail pins the message to one specific rail (implies ViaHCA).
+// ViaRail pins the message to one specific rail (implies ViaHCA). When a
+// fault schedule marks the pinned rail down at send time, the message
+// fails over to the healthiest surviving rail and a trace event records
+// the decision (unless the world is FaultBlind, in which case it queues
+// on the dead rail until the outage ends).
 func ViaRail(r int) SendOption {
+	if r < 0 {
+		panic(fmt.Sprintf("mpi: ViaRail(%d): negative rail", r))
+	}
 	return func(o *sendOpts) { o.forceHCA = true; o.rail = r }
 }
 
@@ -114,11 +122,23 @@ func (p *Proc) sendCMA(wdst, n int) sim.Time {
 // sendHCA carries n bytes through network adapters: a pinned rail, a
 // round-robin rail for small messages, or striped across every rail for
 // large ones (the multirail point-to-point design of Liu et al.).
+//
+// When a fault schedule is attached (and the world is not FaultBlind),
+// selection consults the rail-health registry first: pinned sends fail
+// over off dead rails, round-robin skips them, and striping re-weights
+// the pieces by each surviving rail's bandwidth fraction so all rails
+// finish together. Every deviation from the healthy decision is recorded
+// as a CatFault trace event.
 func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	prm := p.w.prm
-	srcNode := p.w.nodes[p.rs.node]
-	dstNode := p.w.nodes[p.w.topo.NodeOf(wdst)]
+	srcNodeID := p.rs.node
+	dstNodeID := p.w.topo.NodeOf(wdst)
+	srcNode := p.w.nodes[srcNodeID]
+	dstNode := p.w.nodes[dstNodeID]
 	H := len(srcNode.hcas)
+	health := p.w.health
+	consult := health.Faulty() && !p.w.faultBlind
+	now := p.Now()
 
 	rendezvous := sim.Duration(0)
 	if n >= prm.RendezvousThreshold {
@@ -132,17 +152,63 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 		if o.rail >= H {
 			panic(fmt.Sprintf("mpi: rail %d out of range (H=%d)", o.rail, H))
 		}
-		rails, pieces = []int{o.rail}, []int{n}
-	case !o.noStripe && prm.ShouldStripe(n) && H > 1:
-		rails = make([]int, H)
-		for i := range rails {
-			rails[i] = i
+		r := o.rail
+		if consult && !health.Up(srcNodeID, r, now) ||
+			consult && !health.Up(dstNodeID, r, now) {
+			alt, up := health.bestRail(srcNodeID, dstNodeID, r, r, now)
+			if up {
+				p.trace(trace.CatFault, fmt.Sprintf("failover(rail%d->rail%d)", r, alt), now, now, wdst, n)
+				r = alt
+			} else {
+				// Every rail is down: queue on the one that recovers
+				// first; the resource's rate profile charges the wait.
+				alt, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, now)
+				p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", alt), now, now, wdst, n)
+				r = alt
+			}
 		}
-		pieces = netmodel.RailChunk(n, H)
+		rails, pieces = []int{r}, []int{n}
+	case !o.noStripe && prm.ShouldStripe(n) && H > 1:
+		if consult {
+			rails, pieces = p.stripeByHealth(srcNodeID, dstNodeID, wdst, n, H, now)
+		} else {
+			rails = make([]int, H)
+			for i := range rails {
+				rails[i] = i
+			}
+			pieces = netmodel.RailChunk(n, H)
+		}
 	default:
 		r := p.rs.railRR % H
 		p.rs.railRR++
+		if consult && !health.Up(srcNodeID, r, now) || consult && !health.Up(dstNodeID, r, now) {
+			picked := -1
+			for k := 1; k < H; k++ {
+				c := (r + k) % H
+				if health.LinkFraction(srcNodeID, dstNodeID, c, now) > 0 {
+					picked = c
+					break
+				}
+			}
+			if picked >= 0 {
+				p.trace(trace.CatFault, fmt.Sprintf("failover(rail%d->rail%d)", r, picked), now, now, wdst, n)
+				r = picked
+			} else {
+				picked, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, now)
+				p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", picked), now, now, wdst, n)
+				r = picked
+			}
+		}
 		rails, pieces = []int{r}, []int{n}
+	}
+
+	// Latency faults add a per-piece startup penalty whether or not
+	// selection is health-aware — elevated latency is physical, not a
+	// routing decision.
+	var extra [8]sim.Duration
+	extraLat := extra[:0]
+	for _, r := range rails {
+		extraLat = append(extraLat, health.LinkExtraLatency(srcNodeID, dstNodeID, r, now))
 	}
 
 	// On a fat-tree fabric, cross-leaf pieces additionally hold their leaf
@@ -156,7 +222,7 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	var end sim.Time
 	var start sim.Time = -1
 	for i, r := range rails {
-		d := p.w.perturb(prm.AlphaHCA + rendezvous + sim.FromSeconds(float64(pieces[i])/prm.BWHCA))
+		d := p.w.perturb(prm.AlphaHCA+rendezvous+sim.FromSeconds(float64(pieces[i])/prm.BWHCA)) + extraLat[i]
 		s, e := sim.AcquireTogether(d, srcNode.hcas[r].tx, dstNode.hcas[r].rx)
 		if crossLeaf {
 			// The piece also consumes leaf up/downlink capacity from the
@@ -181,6 +247,58 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	}
 	p.trace(trace.CatHCA, fmt.Sprintf("hca(x%d)", len(rails)), start, end, wdst, n)
 	return end
+}
+
+// stripeByHealth plans a striped transfer over the surviving rails of the
+// src->dst link: dead rails are skipped and each piece is sized in
+// proportion to its rail's surviving bandwidth fraction, so every rail
+// finishes its share at the same moment despite unequal degradation. Any
+// deviation from the healthy equal split is recorded as a CatFault event
+// naming the piece layout.
+func (p *Proc) stripeByHealth(srcNodeID, dstNodeID, wdst, n, H int, now sim.Time) (rails, pieces []int) {
+	health := p.w.health
+	var fracs []float64
+	allHealthy := true
+	for r := 0; r < H; r++ {
+		f := health.LinkFraction(srcNodeID, dstNodeID, r, now)
+		if f > 0 {
+			rails = append(rails, r)
+			fracs = append(fracs, f)
+		}
+		if f != 1 {
+			allHealthy = false
+		}
+	}
+	switch {
+	case len(rails) == 0:
+		// Nothing is up: fall back to the rail that recovers first and
+		// let the rate profile charge the remaining outage.
+		r, _ := health.bestRail(srcNodeID, dstNodeID, 0, -1, now)
+		p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", r), now, now, wdst, n)
+		return []int{r}, []int{n}
+	case allHealthy:
+		return rails, netmodel.RailChunk(n, H)
+	}
+	pieces = netmodel.RailChunkWeighted(n, fracs)
+	// Drop pieces rounded down to nothing so we don't pay startup costs
+	// for empty transfers.
+	outR, outP := rails[:0], pieces[:0]
+	for i := range rails {
+		if pieces[i] > 0 {
+			outR = append(outR, rails[i])
+			outP = append(outP, pieces[i])
+		}
+	}
+	rails, pieces = outR, outP
+	var b strings.Builder
+	for i := range rails {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "rail%d=%d", rails[i], pieces[i])
+	}
+	p.trace(trace.CatFault, "stripe("+b.String()+")", now, now, wdst, n)
+	return rails, pieces
 }
 
 // Irecv posts a nonblocking receive for a message from comm rank src with

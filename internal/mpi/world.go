@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mha/internal/faults"
 	"mha/internal/netmodel"
 	"mha/internal/sim"
 	"mha/internal/topology"
@@ -36,6 +37,16 @@ type Config struct {
 	// Seed initializes the jitter RNG when Params.Jitter > 0; two worlds
 	// with the same seed produce identical results.
 	Seed int64
+	// Faults, when non-nil, degrades the HCA rails over virtual time: down
+	// windows, reduced-bandwidth spans, added latency, flapping. The
+	// schedule both slows the rail resources and feeds the rail-health
+	// registry that transport selection consults.
+	Faults *faults.Schedule
+	// FaultBlind keeps transport selection unaware of the fault schedule:
+	// rails still degrade, but striping splits equally and pinned/round-
+	// robin sends queue on dead rails. This is the naive baseline the
+	// health-aware path is measured against.
+	FaultBlind bool
 }
 
 // World is one simulated MPI job. Create it with New, then call Run with
@@ -46,10 +57,12 @@ type World struct {
 	prm    *netmodel.Params
 	tracer *trace.Recorder
 
-	phantom bool
-	nodes   []*node
-	ranks   []*rankState
-	leaves  []*leafSwitch // nil on a non-blocking fabric
+	phantom    bool
+	nodes      []*node
+	ranks      []*rankState
+	leaves     []*leafSwitch // nil on a non-blocking fabric
+	health     *RailHealth
+	faultBlind bool
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand // nil when Params.Jitter == 0
@@ -128,6 +141,15 @@ func New(cfg Config) *World {
 	if prm.Jitter > 0 {
 		w.jitter = rand.New(rand.NewSource(cfg.Seed))
 	}
+	if cfg.Faults.Len() > 0 {
+		if err := cfg.Faults.Check(cfg.Topo.Nodes, cfg.Topo.HCAs); err != nil {
+			panic(fmt.Sprintf("mpi: %v", err))
+		}
+		w.health = &RailHealth{sched: cfg.Faults, hcas: cfg.Topo.HCAs}
+	} else {
+		w.health = &RailHealth{hcas: cfg.Topo.HCAs}
+	}
+	w.faultBlind = cfg.FaultBlind
 	if prm.NodesPerLeaf > 0 {
 		leaves := (cfg.Topo.Nodes + prm.NodesPerLeaf - 1) / prm.NodesPerLeaf
 		for l := 0; l < leaves; l++ {
@@ -140,10 +162,19 @@ func New(cfg Config) *World {
 	for n := 0; n < cfg.Topo.Nodes; n++ {
 		nd := &node{id: n, mem: eng.NewGauge(fmt.Sprintf("node%d.mem", n)), shms: map[string]*Shm{}}
 		for h := 0; h < cfg.Topo.HCAs; h++ {
-			nd.hcas = append(nd.hcas, &hca{
+			a := &hca{
 				tx: eng.NewResource(fmt.Sprintf("node%d.hca%d.tx", n, h)),
 				rx: eng.NewResource(fmt.Sprintf("node%d.hca%d.rx", n, h)),
-			})
+			}
+			if w.health.Faulty() {
+				n, h := n, h
+				rate := func(t sim.Time) (float64, sim.Time) {
+					return cfg.Faults.RailState(n, h, t)
+				}
+				a.tx.SetRate(rate)
+				a.rx.SetRate(rate)
+			}
+			nd.hcas = append(nd.hcas, a)
 		}
 		w.nodes = append(w.nodes, nd)
 	}

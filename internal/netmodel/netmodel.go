@@ -257,6 +257,61 @@ func RailChunk(n, rails int) []int {
 	return out
 }
 
+// RailChunkWeighted returns per-rail piece sizes when n bytes stripe
+// across rails of unequal surviving bandwidth: piece i is proportional to
+// weights[i] (largest-remainder rounding, ties to the lowest index, so the
+// split is deterministic and sums exactly to n). A zero weight yields a
+// zero piece; at least one weight must be positive. With equal weights it
+// reproduces RailChunk's equal split.
+func RailChunkWeighted(n int, weights []float64) []int {
+	if len(weights) == 0 {
+		panic("netmodel: RailChunkWeighted with no rails")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("netmodel: negative rail weight %v", w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("netmodel: RailChunkWeighted needs a positive total weight")
+	}
+	out := make([]int, len(weights))
+	rem := make([]float64, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(n) * w / total
+		out[i] = int(exact)
+		rem[i] = exact - float64(out[i])
+		assigned += out[i]
+	}
+	for left := n - assigned; left > 0; left-- {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = -1
+	}
+	return out
+}
+
+// EffectiveBW is the effective-bandwidth lookup for a (possibly degraded)
+// rail: the rail's line rate scaled by the fault schedule's surviving
+// fraction. Zero means the rail is down.
+func (p *Params) EffectiveBW(fraction float64) float64 {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	return p.BWHCA * fraction
+}
+
 // ShouldStripe reports whether a message of n bytes should stripe across
 // all rails rather than use a single round-robin rail.
 func (p *Params) ShouldStripe(n int) bool { return n >= p.StripeThreshold }

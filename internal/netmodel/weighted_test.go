@@ -1,0 +1,94 @@
+package netmodel
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRailChunkWeightedSumsAndProportions(t *testing.T) {
+	got := RailChunkWeighted(30, []float64{1, 0.5})
+	if got[0] != 20 || got[1] != 10 {
+		t.Fatalf("RailChunkWeighted(30, [1 .5]) = %v, want [20 10]", got)
+	}
+	got = RailChunkWeighted(100, []float64{1, 0, 1})
+	if !reflect.DeepEqual(got, []int{50, 0, 50}) {
+		t.Fatalf("zero-weight rail got bytes: %v", got)
+	}
+}
+
+func TestRailChunkWeightedEqualWeightsMatchRailChunk(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1 << 16, 1<<20 + 3} {
+		for h := 1; h <= 8; h++ {
+			w := make([]float64, h)
+			for i := range w {
+				w[i] = 1
+			}
+			if got, want := RailChunkWeighted(n, w), RailChunk(n, h); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d h=%d: weighted %v != equal %v", n, h, got, want)
+			}
+		}
+	}
+}
+
+func TestRailChunkWeightedDeterministic(t *testing.T) {
+	w := []float64{0.3, 0.3, 0.4}
+	a := RailChunkWeighted(1<<20+1, w)
+	b := RailChunkWeighted(1<<20+1, w)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different splits: %v vs %v", a, b)
+	}
+}
+
+func TestQuickRailChunkWeightedConserves(t *testing.T) {
+	f := func(n uint16, a, b, c uint8) bool {
+		w := []float64{float64(a) + 1, float64(b), float64(c)}
+		total := 0
+		for _, p := range RailChunkWeighted(int(n), w) {
+			if p < 0 {
+				return false
+			}
+			total += p
+		}
+		return total == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRailChunkWeightedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no rails":        func() { RailChunkWeighted(10, nil) },
+		"negative weight": func() { RailChunkWeighted(10, []float64{1, -1}) },
+		"zero total":      func() { RailChunkWeighted(10, []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEffectiveBW(t *testing.T) {
+	p := Thor()
+	if got := p.EffectiveBW(1); got != p.BWHCA {
+		t.Fatalf("EffectiveBW(1) = %v, want %v", got, p.BWHCA)
+	}
+	if got := p.EffectiveBW(0.5); got != 0.5*p.BWHCA {
+		t.Fatalf("EffectiveBW(0.5) = %v", got)
+	}
+	if got := p.EffectiveBW(0); got != 0 {
+		t.Fatalf("EffectiveBW(0) = %v, want 0", got)
+	}
+	if got := p.EffectiveBW(-2); got != 0 {
+		t.Fatalf("EffectiveBW(-2) = %v, want 0", got)
+	}
+	if got := p.EffectiveBW(7); got != p.BWHCA {
+		t.Fatalf("EffectiveBW(7) = %v, want clamp to %v", got, p.BWHCA)
+	}
+}

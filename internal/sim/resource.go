@@ -15,6 +15,7 @@ type Resource struct {
 	freeAt Time
 	busy   Duration // total occupied time, for utilization reporting
 	uses   int64
+	rate   RateFunc // nil: full speed forever
 }
 
 // NewResource creates a named resource bound to the engine.
@@ -24,6 +25,55 @@ func (e *Engine) NewResource(name string) *Resource {
 
 // Name returns the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
+
+// A RateFunc is a piecewise-constant service-rate profile: at virtual time
+// t the resource serves at `fraction` of its nominal speed (0 means
+// unavailable — service pauses) and that fraction holds until `until`
+// (exclusive; TimeMax or later means forever). The function must be pure:
+// identical t must always yield identical results, or determinism breaks.
+type RateFunc func(t Time) (fraction float64, until Time)
+
+// SetRate attaches a service-rate profile to the resource; nil restores
+// full speed. It is how fault schedules impose downtime windows and
+// degraded-bandwidth spans: an occupation of nominal duration d stretches
+// to cover d worth of work at the profile's varying rate, pausing entirely
+// through unavailability windows.
+func (r *Resource) SetRate(fn RateFunc) {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	r.rate = fn
+}
+
+// serviceEndLocked returns when an occupation of nominal duration d that
+// begins at start completes under the resource's rate profile. Caller
+// holds the engine lock.
+func (r *Resource) serviceEndLocked(start Time, d Duration) Time {
+	if r.rate == nil || d == 0 {
+		return start + Time(d)
+	}
+	remaining := float64(d)
+	t := start
+	for {
+		frac, until := r.rate(t)
+		if until <= t {
+			panic(fmt.Sprintf("sim: rate window on %s does not advance past %v", r.name, t))
+		}
+		if frac <= 0 {
+			if until >= TimeMax {
+				panic(fmt.Sprintf("sim: resource %s is permanently unavailable at %v", r.name, t))
+			}
+			t = until // outage: service pauses until the window ends
+			continue
+		}
+		need := remaining / frac // wall time to finish at this rate
+		if span := float64(until - t); need > span && until < TimeMax {
+			remaining -= span * frac
+			t = until
+			continue
+		}
+		return t + Time(need+0.5)
+	}
+}
 
 // Acquire occupies the resource for d starting no earlier than the current
 // virtual time, queuing behind any in-flight use. It returns the start and
@@ -40,9 +90,9 @@ func (r *Resource) Acquire(d Duration) (start, end Time) {
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	end = start + Time(d)
+	end = r.serviceEndLocked(start, d)
 	r.freeAt = end
-	r.busy += d
+	r.busy += Duration(end - start)
 	r.uses++
 	return start, end
 }
@@ -63,9 +113,9 @@ func (r *Resource) AcquireAfter(notBefore Time, d Duration) (start, end Time) {
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	end = start + Time(d)
+	end = r.serviceEndLocked(start, d)
 	r.freeAt = end
-	r.busy += d
+	r.busy += Duration(end - start)
 	r.uses++
 	return start, end
 }
@@ -93,10 +143,17 @@ func AcquireTogether(d Duration, rs ...*Resource) (start, end Time) {
 			start = r.freeAt
 		}
 	}
+	// The transfer is delivered only when the slowest endpoint finishes
+	// its share of work; every endpoint stays held until then.
 	end = start + Time(d)
 	for _, r := range rs {
+		if e2 := r.serviceEndLocked(start, d); e2 > end {
+			end = e2
+		}
+	}
+	for _, r := range rs {
 		r.freeAt = end
-		r.busy += d
+		r.busy += Duration(end - start)
 		r.uses++
 	}
 	return start, end
@@ -128,9 +185,9 @@ func AcquireHetero(ds []Duration, rs ...*Resource) (start, end Time) {
 		if ds[i] < 0 {
 			panic("sim: negative acquire")
 		}
-		fin := start + Time(ds[i])
+		fin := r.serviceEndLocked(start, ds[i])
 		r.freeAt = fin
-		r.busy += ds[i]
+		r.busy += Duration(fin - start)
 		r.uses++
 		if fin > end {
 			end = fin

@@ -28,6 +28,11 @@ import (
 // simulation.
 type Time int64
 
+// TimeMax is the "never" horizon used by open-ended rate windows
+// (Resource.SetRate). It is far enough below the int64 ceiling that
+// adding durations to it cannot overflow.
+const TimeMax = Time(1) << 61
+
 // Duration is a span of virtual time in nanoseconds.
 type Duration int64
 

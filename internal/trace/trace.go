@@ -25,6 +25,7 @@ const (
 	CatCompute Category = "compute" // local computation
 	CatWait    Category = "wait"    // waiting on a request or counter
 	CatPhase   Category = "phase"   // algorithm phase marker
+	CatFault   Category = "fault"   // rail fault window / failover decision
 )
 
 // Event is one timed interval on some rank's timeline.
@@ -108,6 +109,7 @@ var glyphs = map[Category]byte{
 	CatCompute: 'C',
 	CatWait:    '.',
 	CatPhase:   '|',
+	CatFault:   'X',
 }
 
 // Timeline renders the recorded events as an ASCII Gantt chart with one
@@ -163,7 +165,7 @@ func (r *Recorder) Timeline(width int) string {
 	for rank, lane := range lanes {
 		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, lane)
 	}
-	b.WriteString("legend: S=send R=recv H=HCA transfer I=shm copy-in O=shm copy-out C=compute .=wait\n")
+	b.WriteString("legend: S=send R=recv H=HCA transfer I=shm copy-in O=shm copy-out C=compute X=fault .=wait\n")
 	return b.String()
 }
 

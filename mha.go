@@ -25,6 +25,7 @@ package mha
 import (
 	"mha/internal/collectives"
 	"mha/internal/core"
+	"mha/internal/faults"
 	"mha/internal/machines"
 	"mha/internal/mpi"
 	"mha/internal/netmodel"
@@ -212,6 +213,42 @@ type Machine = machines.Machine
 var (
 	Machines      = machines.All
 	MachineByName = machines.Get
+)
+
+// Fault injection: schedules of rail faults (outages, degraded bandwidth,
+// added latency, flapping) drive the simulated HCAs and the rail-health
+// registry the transport consults for failover and re-weighted striping.
+// Pass a schedule in Config.Faults; set Config.FaultBlind for the naive
+// (health-unaware) baseline.
+type (
+	// FaultSchedule is an immutable, deterministic set of rail faults.
+	FaultSchedule = faults.Schedule
+	// Fault is one fault: a Kind plus scope (node/rail/window) parameters.
+	Fault = faults.Fault
+	// FaultKind selects the failure mode of a Fault.
+	FaultKind = faults.Kind
+	// RailStat summarizes one rail's utilization after a run (World.RailStats).
+	RailStat = mpi.RailStat
+)
+
+// The fault kinds and scope wildcards.
+const (
+	FaultDown    = faults.Down
+	FaultDegrade = faults.Degrade
+	FaultLatency = faults.Latency
+	FaultFlap    = faults.Flap
+	AllNodes     = faults.AllNodes
+	AllRails     = faults.AllRails
+)
+
+// Fault-schedule constructors: NewFaultSchedule validates a fault list,
+// ParseFaults reads the textual spec format ("down node=0 rail=1
+// until=40us", one fault per line), and RandomFaults derives a
+// reproducible schedule from a seed.
+var (
+	NewFaultSchedule = faults.New
+	ParseFaults      = faults.Parse
+	RandomFaults     = faults.Random
 )
 
 // NewModel builds the analytic cost model of Section 4 for a shape.

@@ -172,6 +172,58 @@ func TestPublicTracer(t *testing.T) {
 	}
 }
 
+func TestPublicFaultInjection(t *testing.T) {
+	sched, err := mha.ParseFaults("down node=0 rail=1 until=40us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := mha.NewCluster(2, 2, 2)
+	n := topo.Size()
+	const m = 128
+	run := func(s *mha.FaultSchedule) (mha.Time, *mha.World) {
+		w := mha.NewWorld(mha.Config{Topo: topo, Faults: s})
+		var worst mha.Time
+		err := w.Run(func(p *mha.Proc) {
+			send := mha.NewBuf(m)
+			for i := range send.Data() {
+				send.Data()[i] = byte(p.Rank())
+			}
+			recv := mha.NewBuf(n * m)
+			mha.Allgather(p, w, send, recv)
+			for r := 0; r < n; r++ {
+				if recv.Data()[r*m] != byte(r) {
+					t.Errorf("rank %d: block %d corrupted under faults", p.Rank(), r)
+				}
+			}
+			if p.Now() > worst {
+				worst = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return worst, w
+	}
+	healthy, _ := run(nil)
+	faulted, w := run(sched)
+	if faulted < healthy {
+		t.Fatalf("fault made the run faster: %v < %v", faulted, healthy)
+	}
+	stats := w.RailStats()
+	if len(stats) != topo.Nodes*topo.HCAs {
+		t.Fatalf("RailStats length = %d", len(stats))
+	}
+	// Programmatic construction and the random generator work through the
+	// facade too.
+	if _, err := mha.NewFaultSchedule(mha.Fault{Kind: mha.FaultDegrade,
+		Node: mha.AllNodes, Rail: 1, Fraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if mha.RandomFaults(3, 4, 2, 1_000_000).Len() == 0 {
+		t.Fatal("random schedule is empty")
+	}
+}
+
 func TestPublicIAllgatherAndMachines(t *testing.T) {
 	m, ok := mha.MachineByName("thor")
 	if !ok || m.Topo.Size() != 1024 {
