@@ -33,6 +33,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		timed = flag.Bool("time", false, "print wall-clock time per experiment")
 		asCSV = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		tier1 = flag.String("tier1", "", "also write the tier-1 perf metrics (BENCH_tier1.json) to this path")
 	)
 	flag.Parse()
 	bench.CSVMode = *asCSV
@@ -64,8 +65,10 @@ func main() {
 			todo = append(todo, e)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		if *tier1 == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("# mhabench scale=%s experiments=%d\n", sc, len(todo))
@@ -78,5 +81,22 @@ func main() {
 		if *timed {
 			fmt.Printf("(%s took %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if *tier1 != "" {
+		f, err := os.Create(*tier1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = bench.WriteTier1(f, sc)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing tier-1 metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote tier-1 metrics to %s\n", *tier1)
 	}
 }

@@ -156,6 +156,40 @@ func TestSmokeMhafaultRejectsBadSpec(t *testing.T) {
 	}
 }
 
+func TestSmokeMhaverifyCampaign(t *testing.T) {
+	out := run(t, "mhaverify", "-n", "25", "-seed", "42")
+	for _, want := range []string{"verified 25 scenarios", "all scenarios passed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhaverify output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMhaverifyRepro(t *testing.T) {
+	out := run(t, "mhaverify", "-repro",
+		"alg=mha nodes=2 ppn=2 hcas=2 msg=257 faults=down node=0 rail=1 until=40us")
+	if !strings.Contains(out, "repro passed") {
+		t.Fatalf("mhaverify -repro output unexpected:\n%s", out)
+	}
+	out = run(t, "mhaverify", "-list")
+	for _, want := range []string{"mha", "ring", "block-layout"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhaverify -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMhaverifyRejectsBadSpec(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "mhaverify"), "-repro", "alg=mha-intra nodes=2 ppn=2")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("contract-violating spec accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "does not support") {
+		t.Fatalf("bad-spec diagnostic unexpected:\n%s", out)
+	}
+}
+
 func TestSmokeMhaosuMachinePreset(t *testing.T) {
 	out := run(t, "mhaosu", "allgather", "-machine", "thetagpu", "-nodes", "2", "-ppn", "4",
 		"-min", "16384", "-max", "65536")

@@ -1,0 +1,39 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+
+	"mha/internal/sim"
+)
+
+// VerifyTeardown audits the world after Run has returned and reports every
+// violated teardown invariant. On top of the engine-level quiescence audit
+// (all ranks finished, no pending events, every resource idle with busy
+// time within the makespan, every mailbox drained — sim.Engine.
+// CheckQuiescent), it names leaks in MPI terms: a rank whose mailbox still
+// holds messages received a send nobody posted a matching receive for, and
+// a rail whose cumulative busy time exceeds the makespan double-charged an
+// occupation. A nil error means the job tore down cleanly.
+func (w *World) VerifyTeardown() error {
+	makespan := sim.Duration(w.eng.Stats().Now)
+	var bad []string
+	if err := w.eng.CheckQuiescent(); err != nil {
+		bad = append(bad, err.Error())
+	}
+	for _, rs := range w.ranks {
+		if n := rs.mbox.Pending(); n > 0 {
+			bad = append(bad, fmt.Sprintf("rank %d: %d sent messages never received", rs.rank, n))
+		}
+	}
+	for _, st := range w.RailStats() {
+		if st.TxBusy > makespan || st.RxBusy > makespan {
+			bad = append(bad, fmt.Sprintf("node %d rail %d: busy tx=%v rx=%v exceeds makespan %v",
+				st.Node, st.Rail, st.TxBusy, st.RxBusy, makespan))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("mpi: teardown violations: %s", strings.Join(bad, "; "))
+}

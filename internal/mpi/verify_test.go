@@ -1,0 +1,43 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"mha/internal/topology"
+)
+
+func TestVerifyTeardownClean(t *testing.T) {
+	w := New(Config{Topo: topology.New(2, 2, 2)})
+	err := w.Run(func(p *Proc) {
+		peer := (p.Rank() + 1) % p.Size()
+		send := NewBuf(64)
+		rreq := p.Irecv(w.CommWorld(), (p.Rank()-1+p.Size())%p.Size(), 5)
+		sreq := p.Isend(w.CommWorld(), peer, 5, send)
+		p.Wait(rreq)
+		p.Wait(sreq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.VerifyTeardown(); err != nil {
+		t.Fatalf("clean exchange flagged: %v", err)
+	}
+}
+
+func TestVerifyTeardownCatchesUnreceivedSend(t *testing.T) {
+	w := New(Config{Topo: topology.New(1, 2, 1)})
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Wait(p.Isend(w.CommWorld(), 1, 9, NewBuf(32)))
+		}
+		// Rank 1 never posts the matching receive.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr := w.VerifyTeardown()
+	if terr == nil || !strings.Contains(terr.Error(), "never received") {
+		t.Fatalf("orphaned send not flagged: %v", terr)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A ClockWatcher observes every clock advance of the engine: it is invoked
+// with the time being left and the time being entered, strictly before the
+// advance takes effect. The watcher runs on the scheduler goroutine with
+// the engine lock held, so it must not call engine methods; recording the
+// pair (e.g. to assert monotonicity afterwards) is the intended use.
+type ClockWatcher func(from, to Time)
+
+// SetClockWatcher installs fn as the engine's clock observer (nil removes
+// it). Install before Run; the engine never advances the clock earlier.
+func (e *Engine) SetClockWatcher(fn ClockWatcher) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.watcher = fn
+}
+
+// CheckQuiescent audits the engine after Run has returned and reports every
+// violated teardown invariant:
+//
+//   - every spawned process finished (no leaked simulated goroutines),
+//   - no events remain pending,
+//   - every resource is idle (freeAt <= now) and its cumulative busy time
+//     does not exceed the makespan (FIFO conservation: occupations of one
+//     resource never overlap),
+//   - every mailbox is drained (no delivered-but-unclaimed messages).
+//
+// A nil error means the run tore down cleanly. Calling it before Run, or
+// after a Run that returned an error, reports those states too.
+func (e *Engine) CheckQuiescent() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var bad []string
+	if !e.started {
+		bad = append(bad, "Run was never called")
+	}
+	if e.failure != nil {
+		bad = append(bad, fmt.Sprintf("run failed: %v", e.failure))
+	}
+	if e.finished != len(e.procs) {
+		bad = append(bad, fmt.Sprintf("%d of %d processes never finished",
+			len(e.procs)-e.finished, len(e.procs)))
+	}
+	if n := e.events.Len(); n > 0 {
+		bad = append(bad, fmt.Sprintf("%d events still pending at t=%v", n, e.now))
+	}
+	for _, r := range e.resources {
+		if r.freeAt > e.now {
+			bad = append(bad, fmt.Sprintf("resource %s busy until %v, past end of run %v",
+				r.name, r.freeAt, e.now))
+		}
+		if r.busy < 0 || Time(r.busy) > e.now {
+			bad = append(bad, fmt.Sprintf("resource %s busy time %v exceeds makespan %v",
+				r.name, r.busy, e.now))
+		}
+	}
+	for _, m := range e.mailboxes {
+		if n := len(m.items); n > 0 {
+			bad = append(bad, fmt.Sprintf("mailbox %s holds %d unclaimed messages", m.name, n))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: not quiescent: %s", strings.Join(bad, "; "))
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckQuiescentClean(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("link")
+	m := e.NewMailbox("inbox")
+	e.Spawn("sender", func(p *Proc) {
+		_, end := r.Acquire(10 * Microsecond)
+		p.WaitUntil(end)
+		m.PutAt(end, "payload")
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		m.Get(p, "payload", func(interface{}) bool { return true })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CheckQuiescent(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+}
+
+func TestCheckQuiescentBeforeRun(t *testing.T) {
+	e := NewEngine()
+	err := e.CheckQuiescent()
+	if err == nil || !strings.Contains(err.Error(), "Run was never called") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckQuiescentLeakedMessage(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("inbox")
+	e.Spawn("sender", func(p *Proc) {
+		m.PutAt(p.Now(), "orphan")
+		p.Sleep(Microsecond) // stay alive past the delivery event
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.CheckQuiescent()
+	if err == nil || !strings.Contains(err.Error(), "unclaimed") {
+		t.Fatalf("leaked message not flagged: %v", err)
+	}
+}
+
+func TestCheckQuiescentDeadlock(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("inbox")
+	e.Spawn("stuck", func(p *Proc) {
+		m.Get(p, "a message that never comes", func(interface{}) bool { return true })
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+	err := e.CheckQuiescent()
+	if err == nil || !strings.Contains(err.Error(), "never finished") {
+		t.Fatalf("unfinished process not flagged: %v", err)
+	}
+}
+
+func TestClockWatcherObservesMonotoneAdvances(t *testing.T) {
+	e := NewEngine()
+	type adv struct{ from, to Time }
+	var seen []adv
+	e.SetClockWatcher(func(from, to Time) { seen = append(seen, adv{from, to}) })
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		p.Sleep(5 * Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("watcher saw %d advances, want >= 2", len(seen))
+	}
+	var last Time
+	for _, a := range seen {
+		if a.to <= a.from {
+			t.Fatalf("non-advance observed: %v -> %v", a.from, a.to)
+		}
+		if a.from < last {
+			t.Fatalf("clock went back: advance from %v after reaching %v", a.from, last)
+		}
+		last = a.to
+	}
+	if last != e.Stats().Now {
+		t.Fatalf("last observed advance ends at %v, engine at %v", last, e.Stats().Now)
+	}
+}

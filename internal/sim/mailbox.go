@@ -29,7 +29,11 @@ type mailWaiter struct {
 
 // NewMailbox creates a named mailbox bound to the engine.
 func (e *Engine) NewMailbox(name string) *Mailbox {
-	return &Mailbox{eng: e, name: name}
+	m := &Mailbox{eng: e, name: name}
+	e.mu.Lock()
+	e.mailboxes = append(e.mailboxes, m)
+	e.mu.Unlock()
+	return m
 }
 
 // PutAt deposits v into the mailbox at virtual time at (clamped to now).

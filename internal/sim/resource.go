@@ -20,7 +20,11 @@ type Resource struct {
 
 // NewResource creates a named resource bound to the engine.
 func (e *Engine) NewResource(name string) *Resource {
-	return &Resource{eng: e, name: name}
+	r := &Resource{eng: e, name: name}
+	e.mu.Lock()
+	e.resources = append(e.resources, r)
+	e.mu.Unlock()
+	return r
 }
 
 // Name returns the resource's diagnostic name.

@@ -118,6 +118,12 @@ type Engine struct {
 	started  bool
 	failure  error
 	fired    int64 // events executed, for Stats
+
+	// Verification hooks (see check.go): every resource and mailbox ever
+	// created on the engine, and an optional observer of clock advances.
+	resources []*Resource
+	mailboxes []*Mailbox
+	watcher   ClockWatcher
 }
 
 // NewEngine returns an empty simulation.
@@ -219,6 +225,9 @@ func (e *Engine) Run() error {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", ev.at, e.now))
+		}
+		if e.watcher != nil && ev.at > e.now {
+			e.watcher(e.now, ev.at)
 		}
 		e.now = ev.at
 		e.fired++

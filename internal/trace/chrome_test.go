@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mha/internal/sim"
+)
+
+// chromeRecord mirrors the exported JSON shape for decoding in tests.
+type chromeRecord struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Args  map[string]interface{} `json:"args"`
+}
+
+func sampleRecorder() *Recorder {
+	r := New()
+	// Insert out of order to exercise the canonical sort.
+	r.Add(Event{Rank: 1, Cat: CatHCA, Name: "xfer", Start: 5000, End: 9000, Peer: 0, Bytes: 4096})
+	r.Add(Event{Rank: 0, Cat: CatSend, Name: "isend", Start: 0, End: 1000, Peer: 1, Bytes: 4096})
+	r.Add(Event{Rank: 0, Cat: CatCompute, Name: "compute", Start: 2000, End: 4000, Peer: -1})
+	r.Add(Event{Rank: 2, Cat: CatRecv, Name: "wait", Start: 2000, End: 9500, Peer: 0, Bytes: 64})
+	return r
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []chromeRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(recs) != 4 {
+		t.Fatalf("exported %d events, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Phase != "X" {
+			t.Errorf("event %d: phase %q, want complete (X)", i, r.Phase)
+		}
+		if r.PID != 0 {
+			t.Errorf("event %d: pid %d, want 0 (one simulated job)", i, r.PID)
+		}
+		if r.Dur < 0 {
+			t.Errorf("event %d: negative duration %v", i, r.Dur)
+		}
+		if i > 0 && r.TS < recs[i-1].TS {
+			t.Errorf("event %d: ts %v before previous %v (must be non-decreasing)", i, r.TS, recs[i-1].TS)
+		}
+	}
+}
+
+func TestWriteChromeTraceMapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []chromeRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	// Events() sorts by (start, rank): isend@0, compute@2000(rank0),
+	// wait@2000(rank2), xfer@5000(rank1).
+	wantTID := []int{0, 0, 2, 1}
+	wantTS := []float64{0, 2, 2, 5} // microseconds
+	for i, r := range recs {
+		if r.TID != wantTID[i] {
+			t.Errorf("event %d (%s): tid %d, want rank %d", i, r.Name, r.TID, wantTID[i])
+		}
+		if r.TS != wantTS[i] {
+			t.Errorf("event %d (%s): ts %v, want %vus", i, r.Name, r.TS, wantTS[i])
+		}
+	}
+	// Args carry peer/bytes only when meaningful.
+	if recs[0].Args["peer"] != float64(1) || recs[0].Args["bytes"] != float64(4096) {
+		t.Errorf("isend args = %v", recs[0].Args)
+	}
+	if _, ok := recs[1].Args["peer"]; ok {
+		t.Errorf("compute (peer -1) should omit peer, has %v", recs[1].Args)
+	}
+}
+
+func TestWriteChromeTraceFromLiveRun(t *testing.T) {
+	// A real (if tiny) simulation: ts ordering and duration consistency
+	// must hold for engine-produced timestamps too.
+	rec := New()
+	e := sim.NewEngine()
+	r := e.NewResource("rail")
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			start, end := r.Acquire(7 * sim.Microsecond)
+			p.WaitUntil(end)
+			rec.Add(Event{Rank: 0, Cat: CatHCA, Name: "xfer", Start: start, End: end, Peer: -1, Bytes: 128})
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []chromeRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("exported %d events, want 3", len(recs))
+	}
+	for i, cr := range recs {
+		if cr.Dur != 7 {
+			t.Errorf("event %d: dur %v, want 7us", i, cr.Dur)
+		}
+		if want := float64(i * 7); cr.TS != want {
+			t.Errorf("event %d: ts %v, want %v", i, cr.TS, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+
+	"mha/internal/mpi"
+	"mha/internal/sim"
+	"mha/internal/trace"
+)
+
+// Violation is one broken property of a scenario run.
+type Violation struct {
+	// Kind classifies the property: "spec" (unrunnable scenario), "run"
+	// (deadlock or panic), "oracle" (wrong bytes), "invariant" (teardown
+	// audit), "monotonic" (clock went backwards), "determinism" (two runs
+	// of the same seed diverged).
+	Kind string
+	// Detail is a human-readable account.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// patByte is the oracle's expected byte i of rank r's contribution: a
+// non-repeating pattern so block swaps, off-by-ones and stale bytes all
+// produce visible mismatches.
+func patByte(r, i int) byte { return byte(r*131 + i*7 + 3) }
+
+// maxOracleReports caps per-run oracle output; one failing scenario can
+// corrupt every block of every rank.
+const maxOracleReports = 8
+
+// runResult is one execution of a scenario.
+type runResult struct {
+	makespan   sim.Time
+	hash       uint64
+	violations []Violation
+}
+
+// runOnce executes the scenario with real payloads and full instrumentation:
+// the differential oracle on every rank's receive buffer, the clock-advance
+// watcher, and the teardown audit. Panics anywhere in the run (including
+// world construction) become "run" violations.
+func runOnce(sc Scenario) (res runResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.violations = append(res.violations,
+				Violation{Kind: "run", Detail: fmt.Sprintf("panic: %v", r)})
+		}
+	}()
+	alg, ok := ByName(sc.Alg)
+	if !ok {
+		return runResult{violations: []Violation{{Kind: "spec", Detail: "unknown algorithm " + sc.Alg}}}
+	}
+	rec := trace.New()
+	w := mpi.New(mpi.Config{
+		Topo: sc.Topo(), Params: sc.Params(), Tracer: rec,
+		Seed: sc.Seed, Faults: sc.Faults, FaultBlind: sc.Blind,
+	})
+
+	// Clock monotonicity: the engine must only ever advance, and each
+	// advance must leave from exactly where the previous one arrived.
+	var clockBad []string
+	var lastTo sim.Time
+	w.Engine().SetClockWatcher(func(from, to sim.Time) {
+		switch {
+		case to <= from:
+			if len(clockBad) < maxOracleReports {
+				clockBad = append(clockBad, fmt.Sprintf("advance %v -> %v", from, to))
+			}
+		case from < lastTo:
+			if len(clockBad) < maxOracleReports {
+				clockBad = append(clockBad, fmt.Sprintf("advance from %v after reaching %v", from, lastTo))
+			}
+		}
+		lastTo = to
+	})
+
+	n := sc.Topo().Size()
+	m := sc.Msg
+	var mu sync.Mutex
+	var oracle []string
+	report := func(s string) {
+		mu.Lock()
+		if len(oracle) < maxOracleReports {
+			oracle = append(oracle, s)
+		}
+		mu.Unlock()
+	}
+	err := w.Run(func(p *mpi.Proc) {
+		send := mpi.NewBuf(m)
+		for i := range send.Data() {
+			send.Data()[i] = patByte(p.Rank(), i)
+		}
+		recv := mpi.NewBuf(n * m)
+		alg.Run(p, w, send, recv)
+		for r := 0; r < n; r++ {
+			blk := recv.Data()[r*m : (r+1)*m]
+			for i, b := range blk {
+				if b != patByte(r, i) {
+					report(fmt.Sprintf("rank %d: block %d byte %d = %#02x, want %#02x",
+						p.Rank(), r, i, b, patByte(r, i)))
+					break
+				}
+			}
+		}
+		for i, b := range send.Data() {
+			if b != patByte(p.Rank(), i) {
+				report(fmt.Sprintf("rank %d: send buffer clobbered at byte %d", p.Rank(), i))
+				break
+			}
+		}
+	})
+	if err != nil {
+		res.violations = append(res.violations, Violation{Kind: "run", Detail: err.Error()})
+	} else if terr := w.VerifyTeardown(); terr != nil {
+		res.violations = append(res.violations, Violation{Kind: "invariant", Detail: terr.Error()})
+	}
+	for _, s := range clockBad {
+		res.violations = append(res.violations, Violation{Kind: "monotonic", Detail: s})
+	}
+	for _, s := range oracle {
+		res.violations = append(res.violations, Violation{Kind: "oracle", Detail: s})
+	}
+	res.makespan = w.Engine().Stats().Now
+	res.hash = rec.Hash()
+	return res
+}
+
+// Check verifies one scenario completely: it validates the spec, executes
+// it twice, and returns every violation found — including a "determinism"
+// violation when the two identically-seeded runs produce different event
+// timelines or makespans. An empty slice means the scenario passed.
+func Check(sc Scenario) []Violation {
+	if err := sc.Validate(); err != nil {
+		return []Violation{{Kind: "spec", Detail: err.Error()}}
+	}
+	r1 := runOnce(sc)
+	r2 := runOnce(sc)
+	out := r1.violations
+	if r1.hash != r2.hash {
+		out = append(out, Violation{Kind: "determinism",
+			Detail: fmt.Sprintf("trace hash %#x vs %#x across identical runs", r1.hash, r2.hash)})
+	} else if r1.makespan != r2.makespan {
+		out = append(out, Violation{Kind: "determinism",
+			Detail: fmt.Sprintf("makespan %v vs %v across identical runs", r1.makespan, r2.makespan)})
+	}
+	return out
+}

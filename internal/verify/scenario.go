@@ -1,0 +1,170 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mha/internal/faults"
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+// Scenario is one fully-specified verification run: a variant, a cluster,
+// a payload, and the environment (jitter, faults, health-blindness). It
+// round-trips through a one-line textual spec so a shrunk failure can be
+// replayed with `mhaverify -repro`.
+type Scenario struct {
+	// Alg names a registered Algorithm.
+	Alg string
+	// Cluster shape.
+	Nodes, PPN, HCAs, Sockets int
+	// Layout is the rank-to-node mapping.
+	Layout topology.Layout
+	// Msg is the per-rank contribution in bytes (0 is legal).
+	Msg int
+	// Seed feeds the world's jitter RNG.
+	Seed int64
+	// Jitter is the OS/fabric noise amplitude (0 disables).
+	Jitter float64
+	// Blind runs the health-unaware transport baseline.
+	Blind bool
+	// Faults degrades the rails over the run; nil means healthy.
+	Faults *faults.Schedule
+}
+
+// Topo returns the scenario's cluster.
+func (sc Scenario) Topo() topology.Cluster {
+	return topology.Cluster{Nodes: sc.Nodes, PPN: sc.PPN, HCAs: sc.HCAs,
+		Layout: sc.Layout, Sockets: sc.Sockets}
+}
+
+// Params returns the scenario's cost model: the Thor calibration (NUMA
+// variant when the cluster has socket structure) with the scenario's
+// jitter.
+func (sc Scenario) Params() *netmodel.Params {
+	var prm netmodel.Params
+	if sc.Sockets > 1 {
+		prm = *netmodel.NumaThor()
+	} else {
+		prm = *netmodel.Thor()
+	}
+	prm.Jitter = sc.Jitter
+	return &prm
+}
+
+// Validate reports why the scenario is not runnable, or nil.
+func (sc Scenario) Validate() error {
+	alg, ok := ByName(sc.Alg)
+	if !ok {
+		return fmt.Errorf("verify: unknown algorithm %q", sc.Alg)
+	}
+	topo := sc.Topo()
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	if !alg.Supports(topo) {
+		return fmt.Errorf("verify: %s does not support %v", sc.Alg, topo)
+	}
+	if sc.Msg < 0 {
+		return fmt.Errorf("verify: negative message size %d", sc.Msg)
+	}
+	if sc.Jitter < 0 {
+		return fmt.Errorf("verify: negative jitter %g", sc.Jitter)
+	}
+	if sc.Faults.Len() > 0 {
+		if err := sc.Faults.Check(sc.Nodes, sc.HCAs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Spec renders the scenario as the one-line format ParseSpec reads. The
+// faults field is last and holds the schedule's own spec text with ';'
+// joining lines, so the whole scenario stays a single shell-friendly line.
+func (sc Scenario) Spec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s nodes=%d ppn=%d hcas=%d sockets=%d layout=%s msg=%d seed=%d jitter=%g blind=%d faults=",
+		sc.Alg, sc.Nodes, sc.PPN, sc.HCAs, sc.Sockets,
+		strings.ToLower(sc.Layout.String()), sc.Msg, sc.Seed, sc.Jitter, b2i(sc.Blind))
+	if sc.Faults.Len() > 0 {
+		b.WriteString(strings.ReplaceAll(sc.Faults.String(), "\n", "; "))
+	} else {
+		b.WriteString("none")
+	}
+	return b.String()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseSpec reads a line produced by Spec (the inverse, modulo
+// whitespace). Unknown keys are an error; every key except faults must
+// appear at most once and has a sensible default (one node, one rank, one
+// rail, block layout, empty message, healthy rails).
+func ParseSpec(line string) (Scenario, error) {
+	sc := Scenario{Nodes: 1, PPN: 1, HCAs: 1, Layout: topology.Block, Seed: 1}
+	line = strings.TrimSpace(line)
+	faultText := ""
+	if i := strings.Index(line, "faults="); i >= 0 {
+		faultText = strings.TrimSpace(line[i+len("faults="):])
+		line = line[:i]
+	}
+	for _, field := range strings.Fields(line) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return sc, fmt.Errorf("verify: bad field %q (want key=value)", field)
+		}
+		var err error
+		switch k {
+		case "alg":
+			sc.Alg = v
+		case "nodes":
+			sc.Nodes, err = strconv.Atoi(v)
+		case "ppn":
+			sc.PPN, err = strconv.Atoi(v)
+		case "hcas":
+			sc.HCAs, err = strconv.Atoi(v)
+		case "sockets":
+			sc.Sockets, err = strconv.Atoi(v)
+		case "layout":
+			switch v {
+			case "block":
+				sc.Layout = topology.Block
+			case "cyclic":
+				sc.Layout = topology.Cyclic
+			default:
+				err = fmt.Errorf("want block or cyclic, have %q", v)
+			}
+		case "msg":
+			sc.Msg, err = strconv.Atoi(v)
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "jitter":
+			sc.Jitter, err = strconv.ParseFloat(v, 64)
+		case "blind":
+			sc.Blind = v == "1" || v == "true"
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return sc, fmt.Errorf("verify: field %q: %v", field, err)
+		}
+	}
+	if faultText != "" && faultText != "none" && faultText != "(healthy)" {
+		sched, err := faults.Parse(strings.ReplaceAll(faultText, ";", "\n"))
+		if err != nil {
+			return sc, err
+		}
+		sc.Faults = sched
+	}
+	if sc.Alg == "" {
+		return sc, fmt.Errorf("verify: spec is missing alg=")
+	}
+	return sc, sc.Validate()
+}

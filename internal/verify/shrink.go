@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"mha/internal/faults"
+	"mha/internal/topology"
+)
+
+// Shrink greedily minimizes a failing scenario: it repeatedly tries the
+// candidate reductions below (most aggressive first), keeps the first one
+// that still fails Check, and stops at a fixed point or after budget
+// candidate evaluations. It returns the smallest failing scenario found
+// and the number of candidates evaluated. Every reduction strictly
+// decreases some component (fault count, nodes, ppn, rails, sockets,
+// message size, jitter, blindness, layout, seed), so the loop terminates.
+func Shrink(sc Scenario, budget int) (Scenario, int) {
+	cur := sc
+	used := 0
+	for used < budget {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if used >= budget {
+				break
+			}
+			if cand.Spec() == cur.Spec() || cand.Validate() != nil {
+				continue
+			}
+			used++
+			if len(Check(cand)) > 0 {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, used
+}
+
+// candidates proposes one-step reductions of sc, most aggressive first.
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+	with := func(mut func(*Scenario)) {
+		c := sc
+		mut(&c)
+		out = append(out, c)
+	}
+	if sc.Faults.Len() > 0 {
+		with(func(c *Scenario) { c.Faults = nil })
+		fs := sc.Faults.Faults()
+		for i := range fs {
+			rest := make([]faults.Fault, 0, len(fs)-1)
+			rest = append(rest, fs[:i]...)
+			rest = append(rest, fs[i+1:]...)
+			if sched, err := faults.New(rest...); err == nil {
+				with(func(c *Scenario) { c.Faults = sched })
+			}
+		}
+	}
+	if sc.Blind {
+		with(func(c *Scenario) { c.Blind = false })
+	}
+	if sc.Jitter > 0 {
+		with(func(c *Scenario) { c.Jitter = 0 })
+	}
+	if sc.Sockets > 1 {
+		with(func(c *Scenario) { c.Sockets = 0 })
+	}
+	for _, n := range []int{1, sc.Nodes / 2, sc.Nodes - 1} {
+		if n >= 1 && n < sc.Nodes {
+			n := n
+			with(func(c *Scenario) { c.Nodes = n })
+		}
+	}
+	for _, l := range []int{1, sc.PPN / 2, sc.PPN - 1} {
+		if l >= 1 && l < sc.PPN {
+			l := l
+			with(func(c *Scenario) { c.PPN = l })
+		}
+	}
+	for _, h := range []int{1, sc.HCAs / 2} {
+		if h >= 1 && h < sc.HCAs {
+			h := h
+			with(func(c *Scenario) { c.HCAs = h })
+		}
+	}
+	if sc.Layout != topology.Block {
+		with(func(c *Scenario) { c.Layout = topology.Block })
+	}
+	for _, m := range []int{0, 1, sc.Msg / 2, sc.Msg - 1} {
+		if m >= 0 && m < sc.Msg {
+			m := m
+			with(func(c *Scenario) { c.Msg = m })
+		}
+	}
+	if sc.Seed != 1 {
+		with(func(c *Scenario) { c.Seed = 1 })
+	}
+	return out
+}

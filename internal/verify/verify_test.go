@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mha/internal/mpi"
+	"mha/internal/sim"
+)
+
+// TestCampaignHeadClean is the standing correctness gate: a seeded
+// campaign over every registered variant must find nothing on HEAD. The
+// campaign itself also exercises the determinism cross-check (every
+// scenario runs twice).
+func TestCampaignHeadClean(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	rep, err := Campaign(n, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios != n {
+		t.Fatalf("ran %d scenarios, want %d", rep.Scenarios, n)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("FAIL %s\n  shrunk: %s\n  %v", f.Scenario.Spec(), f.Shrunk.Spec(), f.Violations)
+	}
+	if len(rep.PerAlg) < 10 {
+		t.Errorf("campaign only touched %d algorithms: %v", len(rep.PerAlg), rep.PerAlg)
+	}
+}
+
+// brokenRing is a deliberately mutated ring allgather: the forwarded block
+// lands one byte past its slot whenever the buffer leaves room — the
+// off-by-one class of bug the harness exists to catch.
+func brokenRing(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	c := w.CommWorld()
+	m := send.Len()
+	n := c.Size()
+	me := c.Rank(p)
+	p.LocalCopy(recv.Slice(me*m, m), send)
+	if n == 1 {
+		return
+	}
+	right, left := (me+1)%n, (me-1+n)%n
+	cur := me
+	for s := 0; s < n-1; s++ {
+		tag := mpi.Tag(c.Epoch(p), 12, s)
+		rreq := p.Irecv(c, left, tag)
+		sreq := p.Isend(c, right, tag, recv.Slice(cur*m, m))
+		data := p.Wait(rreq)
+		cur = (cur - 1 + n) % n
+		off := cur * m
+		if off+1+m <= recv.Len() && m > 0 {
+			off++ // the mutation
+		}
+		recv.Slice(off, m).CopyFrom(data)
+		p.Wait(sreq)
+	}
+}
+
+// TestMutationCaught proves the differential oracle plus shrinker pipeline
+// catches a planted bug and produces a minimal, replayable repro spec.
+func TestMutationCaught(t *testing.T) {
+	Register(Algorithm{Name: "broken-ring", Run: brokenRing})
+	rep, err := Campaign(12, 7, Options{Algs: []string{"broken-ring"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("planted off-by-one survived a 12-scenario campaign")
+	}
+	for _, f := range rep.Failures {
+		sh := f.Shrunk
+		if sh.Nodes*sh.PPN > 4 || sh.Msg > 64 || sh.Faults.Len() > 0 {
+			t.Errorf("shrinker left a large repro: %s", sh.Spec())
+		}
+		hasOracle := false
+		for _, v := range f.Violations {
+			if v.Kind == "oracle" {
+				hasOracle = true
+			}
+		}
+		if !hasOracle {
+			t.Errorf("violations lack an oracle report: %v", f.Violations)
+		}
+		// The one-line spec must replay to the same verdict.
+		replay, perr := ParseSpec(sh.Spec())
+		if perr != nil {
+			t.Fatalf("shrunk spec does not parse: %v\n  %s", perr, sh.Spec())
+		}
+		if len(Check(replay)) == 0 {
+			t.Errorf("replayed repro passed: %s", sh.Spec())
+		}
+	}
+}
+
+// TestNondeterminismCaught plants a variant whose timing depends on
+// cross-run mutable state; the same-seed double run must flag it.
+func TestNondeterminismCaught(t *testing.T) {
+	var runs int64
+	Register(Algorithm{Name: "broken-flaky", Run: func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+		if p.Rank() == 0 && atomic.AddInt64(&runs, 1)%2 == 0 {
+			p.Compute(5 * sim.Microsecond)
+		}
+		ByNameMust("ring").Run(p, w, send, recv)
+	}})
+	sc := Scenario{Alg: "broken-flaky", Nodes: 2, PPN: 2, HCAs: 1, Msg: 64, Seed: 1}
+	vs := Check(sc)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "determinism" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-run nondeterminism not flagged: %v", vs)
+	}
+}
+
+// ByNameMust is a test helper; it panics on unknown names.
+func ByNameMust(name string) Algorithm {
+	a, ok := ByName(name)
+	if !ok {
+		panic("unknown algorithm " + name)
+	}
+	return a
+}
+
+// TestSpecRoundTrip: every generated scenario must survive
+// Spec -> ParseSpec -> Spec byte-identically, including fault schedules.
+func TestSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	algs := Algorithms()
+	for i := 0; i < 100; i++ {
+		sc := Generate(rng, algs, 48)
+		spec := sc.Spec()
+		back, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q does not parse: %v", spec, err)
+		}
+		if back.Spec() != spec {
+			t.Fatalf("round trip changed the spec:\n  in:  %s\n  out: %s", spec, back.Spec())
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"nodes=2",                          // missing alg
+		"alg=no-such-algorithm nodes=2",    // unknown variant
+		"alg=ring nodes=x",                 // non-numeric
+		"alg=ring bogus=1",                 // unknown key
+		"alg=ring nodes=0",                 // invalid topology
+		"alg=mha-intra nodes=2 ppn=2",      // contract violation
+		"alg=ring faults=down node=5 z=1",  // bad fault field
+		"alg=ring nodes=2 ppn=1 layout=hexagonal",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestShrinkIsGreedyMinimal: shrinking an already-minimal failing scenario
+// is a fixed point.
+func TestShrinkFixedPoint(t *testing.T) {
+	Register(Algorithm{Name: "broken-ring", Run: brokenRing})
+	min := Scenario{Alg: "broken-ring", Nodes: 1, PPN: 2, HCAs: 1, Msg: 1, Seed: 1}
+	if len(Check(min)) == 0 {
+		t.Fatal("expected the minimal broken-ring scenario to fail")
+	}
+	shrunk, _ := Shrink(min, 100)
+	if shrunk.Spec() != min.Spec() {
+		t.Fatalf("shrinking a minimal scenario changed it: %s -> %s", min.Spec(), shrunk.Spec())
+	}
+}
+
+// TestRegistryConstraints: the built-in contract flags must match the
+// algorithms' documented requirements.
+func TestRegistryConstraints(t *testing.T) {
+	for _, name := range []string{"mha", "two-level", "multi-leader", "mha-3level"} {
+		a := ByNameMust(name)
+		if !a.BlockOnly {
+			t.Errorf("%s must be BlockOnly (hierarchical designs assume contiguous node blocks)", name)
+		}
+	}
+	if a := ByNameMust("mha-intra"); !a.SingleNode {
+		t.Error("mha-intra must be SingleNode")
+	}
+	if a := ByNameMust("multi-leader"); !a.EvenPPN {
+		t.Error("multi-leader (2 groups) must require even ppn")
+	}
+	if a := ByNameMust("ring"); a.BlockOnly || a.SingleNode || a.EvenPPN {
+		t.Error("flat ring must carry no constraints")
+	}
+}

@@ -23,6 +23,9 @@
 package mha
 
 import (
+	"fmt"
+	"strings"
+
 	"mha/internal/collectives"
 	"mha/internal/core"
 	"mha/internal/faults"
@@ -33,6 +36,7 @@ import (
 	"mha/internal/sim"
 	"mha/internal/topology"
 	"mha/internal/trace"
+	"mha/internal/verify"
 )
 
 // Re-exported core types. See the internal packages for full method
@@ -270,4 +274,52 @@ func MeasureAllgather(topo Cluster, prm *Params, msgSize int, prof Profile) Dura
 // MeasureAllreduce times one phantom-mode allreduce of n bytes.
 func MeasureAllreduce(topo Cluster, prm *Params, n int, prof Profile) Duration {
 	return core.MeasureProfileAllreduce(topo, prm, n, prof)
+}
+
+// Verification: the randomized differential-verification harness (see
+// cmd/mhaverify and DESIGN.md section 7). Every allgather variant runs
+// with real payloads against a byte-exact oracle, under simulator
+// invariant audits (clock monotonicity, resource-busy conservation,
+// drained mailboxes at teardown) and a same-seed determinism cross-check.
+// World.VerifyTeardown exposes the post-run audit for custom jobs.
+
+// VerifyScenarioSpec replays one verification scenario given as the
+// harness's one-line spec format, e.g.
+//
+//	alg=mha nodes=2 ppn=4 hcas=2 msg=257 faults=down node=0 rail=1 until=40us
+//
+// and returns an error describing every violated property, or nil.
+func VerifyScenarioSpec(spec string) error {
+	sc, err := verify.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	vs := verify.Check(sc)
+	if len(vs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("mha: scenario %q failed verification: %s", sc.Spec(), strings.Join(msgs, "; "))
+}
+
+// VerifyCampaign runs n seeded random verification scenarios across every
+// registered allgather variant and returns an error carrying a shrunk,
+// replayable repro spec for each failure, or nil when all pass.
+func VerifyCampaign(n int, seed int64) error {
+	rep, err := verify.Campaign(n, seed, verify.Options{})
+	if err != nil {
+		return err
+	}
+	if len(rep.Failures) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mha: %d of %d verification scenarios failed:", len(rep.Failures), rep.Scenarios)
+	for _, f := range rep.Failures {
+		fmt.Fprintf(&b, "\n  %s", f.Shrunk.Spec())
+	}
+	return fmt.Errorf("%s", b.String())
 }

@@ -224,6 +224,32 @@ func TestPublicFaultInjection(t *testing.T) {
 	}
 }
 
+func TestPublicVerification(t *testing.T) {
+	if err := mha.VerifyScenarioSpec("alg=mha nodes=2 ppn=2 hcas=2 msg=257 faults=none"); err != nil {
+		t.Fatalf("healthy scenario failed: %v", err)
+	}
+	if err := mha.VerifyScenarioSpec("alg=nonsense nodes=2"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := mha.VerifyCampaign(10, 42); err != nil {
+		t.Fatalf("campaign found violations on HEAD: %v", err)
+	}
+	// The teardown audit is available on any World.
+	topo := mha.NewCluster(2, 2, 1)
+	w := mha.NewWorld(mha.Config{Topo: topo})
+	err := w.Run(func(p *mha.Proc) {
+		send := mha.NewBuf(16)
+		recv := mha.NewBuf(16 * topo.Size())
+		mha.Allgather(p, w, send, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.VerifyTeardown(); err != nil {
+		t.Fatalf("clean allgather flagged at teardown: %v", err)
+	}
+}
+
 func TestPublicIAllgatherAndMachines(t *testing.T) {
 	m, ok := mha.MachineByName("thor")
 	if !ok || m.Topo.Size() != 1024 {
