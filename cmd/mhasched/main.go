@@ -1,0 +1,294 @@
+// Command mhasched works with explicit communication schedules (the
+// internal/sched IR): lowering the repo's allgather designs to schedule
+// files, statically analyzing them (correctness invariants plus an
+// alpha-beta critical-path cost), executing them on the simulated MPI
+// runtime with real payload verification, and searching schedule space
+// for a machine/message-size pair.
+//
+// Usage:
+//
+//	mhasched build -alg mha -nodes 4 -ppn 8 -hcas 2 -msg 262144   # lower to text IR on stdout
+//	mhasched analyze -f plan.sched                                 # invariants + cost report
+//	mhasched run -f plan.sched                                     # execute, verify bytes, time it
+//	mhasched search -nodes 4 -ppn 8 -hcas 2 -msg 262144 -o best.sched
+//	mhasched export -f plan.sched -json                            # convert text <-> JSON
+//
+// The exit status is 0 on success; analysis failures (an invalid
+// schedule) and verification mismatches exit 1, so scripts can gate on
+// schedule validity directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mha/internal/mpi"
+	"mha/internal/netmodel"
+	"mha/internal/sched"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mhasched: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mhasched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mhasched <subcommand> [flags]
+
+subcommands:
+  build    lower a named design (ring, rd, mha, mha-rd, direct-rail) to the schedule IR
+  analyze  check a schedule's invariants and price its critical path
+  run      execute a schedule on the simulated runtime with byte verification
+  search   synthesize a schedule for a machine and message size
+  export   convert a schedule between the text and JSON forms
+
+run 'mhasched <subcommand> -h' for that subcommand's flags.
+`)
+}
+
+// topoFlags registers the machine-shape flags on fs and returns a
+// constructor to call after parsing.
+func topoFlags(fs *flag.FlagSet) func() (topology.Cluster, error) {
+	nodes := fs.Int("nodes", 2, "number of nodes")
+	ppn := fs.Int("ppn", 2, "processes per node")
+	hcas := fs.Int("hcas", 2, "network rails per node")
+	layout := fs.String("layout", "block", "rank layout: block or cyclic")
+	return func() (topology.Cluster, error) {
+		c := topology.New(*nodes, *ppn, *hcas)
+		switch *layout {
+		case "block":
+		case "cyclic":
+			c.Layout = topology.Cyclic
+		default:
+			return c, fmt.Errorf("unknown layout %q (want block or cyclic)", *layout)
+		}
+		return c, nil
+	}
+}
+
+// buildAlg lowers one named design.
+func buildAlg(alg string, topo topology.Cluster, msg int) (*sched.Schedule, error) {
+	prm := netmodel.Thor()
+	switch alg {
+	case "ring":
+		return sched.Ring(topo, msg), nil
+	case "rd":
+		return sched.RecursiveDoubling(topo, msg), nil
+	case "mha", "mha-ring":
+		return sched.TwoPhaseMHA(topo, prm, msg, sched.MHAOptions{Offload: sched.AutoOffload}), nil
+	case "mha-rd":
+		return sched.TwoPhaseMHA(topo, prm, msg,
+			sched.MHAOptions{Phase2: sched.Phase2RD, Offload: sched.AutoOffload}), nil
+	case "direct-rail":
+		s := sched.DirectRail(topo, msg)
+		if s == nil {
+			return nil, fmt.Errorf("direct-rail does not fit the step limit on %v", topo)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want ring, rd, mha, mha-rd, or direct-rail)", alg)
+}
+
+// emit writes the schedule to path (or stdout when empty), as JSON when
+// asJSON is set and the canonical text form otherwise.
+func emit(s *sched.Schedule, path string, asJSON bool) error {
+	var out []byte
+	if asJSON {
+		js, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		out = append(js, '\n')
+	} else {
+		out = []byte(s.String())
+	}
+	if path == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// load reads and parses a schedule file ("-" means stdin).
+func load(path string) (*sched.Schedule, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -f <schedule file>")
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sched.Parse(string(data))
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	alg := fs.String("alg", "mha", "design to lower: ring, rd, mha, mha-rd, direct-rail")
+	msg := fs.Int("msg", 64<<10, "message size per rank in bytes")
+	out := fs.String("o", "", "output file (default stdout)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of the text form")
+	mkTopo := topoFlags(fs)
+	fs.Parse(args)
+	topo, err := mkTopo()
+	if err != nil {
+		return err
+	}
+	s, err := buildAlg(*alg, topo, *msg)
+	if err != nil {
+		return err
+	}
+	return emit(s, *out, *asJSON)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file := fs.String("f", "", "schedule file (text or JSON; - for stdin)")
+	steps := fs.Bool("steps", false, "print the per-step cost breakdown")
+	fs.Parse(args)
+	s, err := load(*file)
+	if err != nil {
+		return err
+	}
+	prm := netmodel.Thor()
+	rep, err := sched.Analyze(s, prm)
+	if err != nil {
+		return fmt.Errorf("schedule %s is invalid:\n%v", s.Name, err)
+	}
+	fmt.Printf("schedule %s on %v, msg %d B\n", s.Name, s.Topo, s.Msg)
+	fmt.Printf("  steps      %d\n", len(s.Steps))
+	fmt.Printf("  transfers  %d (%d pulls, %d staging copies)\n", rep.Transfers, rep.Pulls, rep.Copies)
+	fmt.Printf("  wire bytes %d   intra bytes %d\n", rep.WireBytes, rep.IntraBytes)
+	fmt.Printf("  cost       %v (critical path, alpha-beta model)\n", rep.Cost)
+	if *steps {
+		for i, c := range rep.StepCosts {
+			fmt.Printf("  step %3d   %v\n", i, c)
+		}
+	}
+	fmt.Println("OK")
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	file := fs.String("f", "", "schedule file (text or JSON; - for stdin)")
+	fs.Parse(args)
+	s, err := load(*file)
+	if err != nil {
+		return err
+	}
+	prm := netmodel.Thor()
+	if _, err := sched.Analyze(s, prm); err != nil {
+		return fmt.Errorf("refusing to run an invalid schedule:\n%v", err)
+	}
+	// Real-payload execution with byte verification against the
+	// allgather contract: rank r's contribution is r's pattern.
+	w := mpi.New(mpi.Config{Topo: s.Topo, Params: prm})
+	n := s.Topo.Size()
+	m := s.Msg
+	var worst sim.Time
+	bad := 0
+	err = w.Run(func(p *mpi.Proc) {
+		send := mpi.NewBuf(m)
+		for i := range send.Data() {
+			send.Data()[i] = byte(p.Rank()*131 + i*7 + 3)
+		}
+		recv := mpi.NewBuf(n * m)
+		sched.Execute(p, w, s, send, recv)
+		for i, b := range recv.Data() {
+			if b != byte((i/m)*131+(i%m)*7+3) {
+				bad++
+				break
+			}
+		}
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("schedule %s: %d of %d ranks ended with wrong bytes", s.Name, bad, n)
+	}
+	fmt.Printf("schedule %s on %v: %d ranks verified, makespan %v\n",
+		s.Name, s.Topo, n, sim.Duration(worst))
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	msg := fs.Int("msg", 256<<10, "message size per rank in bytes")
+	beam := fs.Int("beam", 0, "beam width (default 4)")
+	rounds := fs.Int("rounds", 0, "mutation rounds (default 6)")
+	out := fs.String("o", "", "write the winning schedule here (default: report only)")
+	asJSON := fs.Bool("json", false, "emit the winner as JSON instead of text")
+	mkTopo := topoFlags(fs)
+	fs.Parse(args)
+	topo, err := mkTopo()
+	if err != nil {
+		return err
+	}
+	res, err := sched.Synthesize(topo, netmodel.Thor(), *msg, sched.SynthOptions{Beam: *beam, Rounds: *rounds})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search on %v, msg %d B: %d seeds\n", topo, *msg, len(res.Seeds))
+	fmt.Printf("%-16s %14s %14s\n", "lowered", "analyzer", "simulated")
+	for _, c := range res.Lowered {
+		fmt.Printf("%-16s %14v %14v\n", c.Name, c.Cost, c.Makespan)
+	}
+	fmt.Printf("best: %s  analyzer %v  simulated %v\n", res.Best.Name, res.Best.Cost, res.Best.Makespan)
+	if *out != "" {
+		return emit(res.Best.Sched, *out, *asJSON)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	file := fs.String("f", "", "schedule file (text or JSON; - for stdin)")
+	out := fs.String("o", "", "output file (default stdout)")
+	asJSON := fs.Bool("json", false, "emit JSON (default: the canonical text form)")
+	fs.Parse(args)
+	s, err := load(*file)
+	if err != nil {
+		return err
+	}
+	return emit(s, *out, *asJSON)
+}

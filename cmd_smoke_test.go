@@ -197,3 +197,52 @@ func TestSmokeMhaosuMachinePreset(t *testing.T) {
 		t.Fatalf("preset did not apply:\n%s", out)
 	}
 }
+
+func TestSmokeMhaschedPipeline(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.sched")
+	out := run(t, "mhasched", "build", "-alg", "mha", "-nodes", "2", "-ppn", "2",
+		"-hcas", "2", "-msg", "1024", "-o", plan)
+	if out != "" {
+		t.Fatalf("build -o wrote to stdout:\n%s", out)
+	}
+	out = run(t, "mhasched", "analyze", "-f", plan)
+	for _, want := range []string{"mha-ring", "cost", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "mhasched", "run", "-f", plan)
+	if !strings.Contains(out, "4 ranks verified") {
+		t.Fatalf("run did not verify:\n%s", out)
+	}
+	// JSON export must re-parse to the same canonical schedule.
+	js := filepath.Join(dir, "plan.json")
+	run(t, "mhasched", "export", "-f", plan, "-json", "-o", js)
+	out = run(t, "mhasched", "analyze", "-f", js)
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("exported JSON does not analyze:\n%s", out)
+	}
+	out = run(t, "mhasched", "search", "-nodes", "2", "-ppn", "2", "-hcas", "2", "-msg", "65536")
+	if !strings.Contains(out, "best:") {
+		t.Fatalf("search output missing winner:\n%s", out)
+	}
+}
+
+func TestSmokeMhaschedRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.sched")
+	// A schedule whose only step never delivers most blocks.
+	spec := "schedule bad nodes=1 ppn=4 msg=8\nstep\nxfer src=0 dst=1 first=0 count=1\n"
+	if err := os.WriteFile(bad, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binaries(t), "mhasched"), "analyze", "-f", bad)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("incomplete schedule accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "missing block") {
+		t.Fatalf("diagnostic unexpected:\n%s", out)
+	}
+}

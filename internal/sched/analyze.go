@@ -1,0 +1,367 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+)
+
+// analyzeMaxRanks bounds the hold-tracking matrix (ranks x blocks); the
+// analyzer is meant for schedules the simulator can also run, not for
+// arbitrarily large parsed inputs.
+const analyzeMaxRanks = 4096
+
+// Report is the analyzer's verdict on a valid schedule: the alpha-beta
+// critical-path estimate and traffic accounting.
+type Report struct {
+	// Cost is the predicted makespan: the initial self-copy plus, per
+	// step, the busiest resource's serialized work (CPU seconds for CMA
+	// pushes/pulls/staging copies, rail tx/rx occupation for adapter
+	// transfers), summed over steps.
+	Cost      sim.Duration
+	StepCosts []sim.Duration
+	// Transfers / Pulls / Copies count schedule entries; WireBytes and
+	// IntraBytes split the payload traffic at the node boundary.
+	Transfers, Pulls, Copies int
+	WireBytes, IntraBytes    int64
+}
+
+// violations accumulates analyzer findings, keeping the first few.
+type violations struct {
+	n    int
+	msgs []string
+}
+
+func (v *violations) addf(format string, args ...interface{}) {
+	v.n++
+	if len(v.msgs) < 8 {
+		v.msgs = append(v.msgs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (v *violations) err() error {
+	if v.n == 0 {
+		return nil
+	}
+	s := strings.Join(v.msgs, "; ")
+	if extra := v.n - len(v.msgs); extra > 0 {
+		s += fmt.Sprintf("; and %d more", extra)
+	}
+	return fmt.Errorf("sched: invalid schedule: %s", s)
+}
+
+// cover tracks which bytes of one block a rank holds, as sorted disjoint
+// intervals. done short-circuits full blocks (the common case) and is
+// the only representation of "held" for zero-byte messages.
+type cover struct {
+	done bool
+	ivs  [][2]int
+}
+
+func (c *cover) markAll() { c.done = true; c.ivs = nil }
+
+func (c *cover) add(lo, hi, size int) {
+	if c.done {
+		return
+	}
+	if lo <= 0 && hi >= size {
+		c.markAll()
+		return
+	}
+	out := c.ivs[:0]
+	merged := [2]int{lo, hi}
+	inserted := false
+	for _, iv := range c.ivs {
+		switch {
+		case iv[1] < merged[0]:
+			out = append(out, iv)
+		case merged[1] < iv[0]:
+			if !inserted {
+				out = append(out, merged)
+				inserted = true
+			}
+			out = append(out, iv)
+		default: // overlap or touch: absorb
+			if iv[0] < merged[0] {
+				merged[0] = iv[0]
+			}
+			if iv[1] > merged[1] {
+				merged[1] = iv[1]
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, merged)
+	}
+	c.ivs = out
+	if len(c.ivs) == 1 && c.ivs[0][0] <= 0 && c.ivs[0][1] >= size {
+		c.markAll()
+	}
+}
+
+func (c *cover) full() bool { return c.done }
+
+// holdState is the per-(rank, block) coverage matrix.
+type holdState struct {
+	n, msg int
+	cov    []cover // rank*n + block
+}
+
+func newHoldState(n, msg int) *holdState {
+	h := &holdState{n: n, msg: msg, cov: make([]cover, n*n)}
+	for r := 0; r < n; r++ {
+		h.cov[r*n+r].markAll()
+	}
+	return h
+}
+
+func (h *holdState) at(rank, block int) *cover { return &h.cov[rank*h.n+block] }
+
+// holdsWindow reports whether rank holds every byte the transfer reads.
+func (h *holdState) holdsWindow(rank int, t Transfer) (bool, int) {
+	for _, w := range windowBlocks(t, h.msg) {
+		c := h.at(rank, w.block)
+		if !c.full() {
+			// Partial coverage could in principle satisfy a partial read,
+			// but no builder forwards bytes it holds only partially;
+			// requiring full blocks keeps the invariant simple and strict.
+			return false, w.block
+		}
+	}
+	return true, 0
+}
+
+// deliver credits the transfer's byte window to the destination.
+func (h *holdState) deliver(rank int, t Transfer) {
+	for _, w := range windowBlocks(t, h.msg) {
+		h.at(rank, w.block).add(w.lo, w.hi, h.msg)
+	}
+}
+
+// blockWindow is the slice of one block touched by a transfer window.
+type blockWindow struct {
+	block  int
+	lo, hi int // byte range within the block
+}
+
+// windowBlocks expands a transfer's byte window into per-block slices.
+// A whole-range transfer covers all its blocks fully even when msg == 0
+// (zero-byte allgathers still have a completion structure).
+func windowBlocks(t Transfer, msg int) []blockWindow {
+	out := make([]blockWindow, 0, t.Count)
+	if t.Whole(msg) {
+		for b := t.First; b < t.First+t.Count; b++ {
+			out = append(out, blockWindow{block: b, lo: 0, hi: msg})
+		}
+		return out
+	}
+	for b := 0; b < t.Count; b++ {
+		blo, bhi := b*msg, (b+1)*msg
+		lo, hi := t.Off, t.Off+t.Len
+		if lo < blo {
+			lo = blo
+		}
+		if hi > bhi {
+			hi = bhi
+		}
+		if lo < hi {
+			out = append(out, blockWindow{block: t.First + b, lo: lo - blo, hi: hi - blo})
+		}
+	}
+	return out
+}
+
+// resource keys for the per-step busy accounting.
+type resKind uint8
+
+const (
+	resCPU resKind = iota // per-rank CPU (CMA pushes, pulls, staging copies)
+	resTX                 // per-(node, rail) adapter transmit
+	resRX                 // per-(node, rail) adapter receive
+)
+
+type resKey struct {
+	kind resKind
+	a, b int // CPU: (rank, 0); TX/RX: (node, rail)
+}
+
+// Analyze statically checks a schedule and prices it, without running
+// the simulator. The three semantic invariants:
+//
+//  1. progression — a transfer only forwards blocks its source fully
+//     holds at the start of the step (sends read pre-step state);
+//  2. completeness — after the last step every rank holds every block;
+//  3. rail exclusivity — within a step, pinned (via=rail) transfers get
+//     a (node, rail, direction) endpoint exclusively; two pinned
+//     transfers colliding on one is a planning error. Policy transfers
+//     (auto/hca) are best-effort and exempt: the runtime serializes
+//     them on the rail resources instead.
+//
+// The returned Report prices each step as the busiest resource's
+// serialized work under the netmodel alpha-beta costs, mirroring how the
+// runtime charges the same primitives (CMA and staging copies see the
+// node's memory-congestion factor at the step's concurrency; adapter
+// transfers pay per-piece startup plus rendezvous above the threshold;
+// unpinned inter-node transfers stripe above StripeThreshold and
+// round-robin below it, like mpi.Isend's healthy policy).
+func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if prm == nil {
+		prm = netmodel.Thor()
+	}
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Topo.Size()
+	if n > analyzeMaxRanks {
+		return nil, fmt.Errorf("sched: analyzer supports up to %d ranks, schedule has %d", analyzeMaxRanks, n)
+	}
+	m := s.Msg
+	hold := newHoldState(n, m)
+	var viol violations
+	rep := &Report{
+		// Every rank starts by copying its own contribution into place;
+		// the interpreter does the same LocalCopy.
+		Cost:      prm.CopyTime(m, 1),
+		StepCosts: make([]sim.Duration, len(s.Steps)),
+	}
+	H := s.Topo.HCAs
+	railRR := make([]int, n) // per-rank round-robin cursor, mirroring the runtime
+
+	for si := range s.Steps {
+		st := &s.Steps[si]
+
+		// Pass 1: invariants. Sends read pre-step state, so all checks
+		// precede all deliveries.
+		pinned := map[resKey]int{} // (node, rail, dir) -> count of pinned users
+		for xi, t := range st.Xfers {
+			if ok, blk := hold.holdsWindow(t.Src, t); !ok {
+				viol.addf("step %d xfer %d: rank %d sends block %d before holding it", si, xi, t.Src, blk)
+			}
+			if t.Via == ViaRail {
+				tx := resKey{resTX, s.Topo.NodeOf(t.Src), t.Rail}
+				rx := resKey{resRX, s.Topo.NodeOf(t.Dst), t.Rail}
+				if pinned[tx]++; pinned[tx] > 1 {
+					viol.addf("step %d xfer %d: rail conflict: node %d rail %d tx pinned twice", si, xi, tx.a, t.Rail)
+				}
+				if pinned[rx]++; pinned[rx] > 1 {
+					viol.addf("step %d xfer %d: rail conflict: node %d rail %d rx pinned twice", si, xi, rx.a, t.Rail)
+				}
+			}
+		}
+		for ci, cp := range st.Copies {
+			for b := cp.First; b < cp.First+cp.Count; b++ {
+				if !hold.at(cp.Rank, b).full() {
+					viol.addf("step %d copy %d: rank %d stages block %d before holding it", si, ci, cp.Rank, b)
+					break
+				}
+			}
+		}
+
+		// Pass 2: concurrency census for the memory-congestion factor —
+		// how many CMA/copy operations hit each node in this step.
+		memOps := map[int]int{}
+		for _, t := range st.Xfers {
+			switch t.Via {
+			case ViaAuto:
+				if s.Topo.SameNode(t.Src, t.Dst) {
+					memOps[s.Topo.NodeOf(t.Src)]++
+				}
+			case ViaPull:
+				memOps[s.Topo.NodeOf(t.Dst)]++
+			}
+		}
+		for _, cp := range st.Copies {
+			memOps[s.Topo.NodeOf(cp.Rank)]++
+		}
+
+		// Pass 3: price the step. Each resource serializes its own work;
+		// the step finishes when the busiest resource does.
+		busy := map[resKey]sim.Duration{}
+		addTX := func(node, rail int, d sim.Duration) { busy[resKey{resTX, node, rail}] += d }
+		addRX := func(node, rail int, d sim.Duration) { busy[resKey{resRX, node, rail}] += d }
+		for _, t := range st.Xfers {
+			srcNode, dstNode := s.Topo.NodeOf(t.Src), s.Topo.NodeOf(t.Dst)
+			sameNode := srcNode == dstNode
+			switch {
+			case t.Via == ViaPull:
+				busy[resKey{resCPU, t.Dst, 0}] += prm.CMATime(t.Len, memOps[dstNode])
+				rep.Pulls++
+				rep.IntraBytes += int64(t.Len)
+			case t.Via == ViaAuto && sameNode:
+				busy[resKey{resCPU, t.Src, 0}] += prm.CMATime(t.Len, memOps[srcNode])
+				rep.IntraBytes += int64(t.Len)
+			case t.Via == ViaRail:
+				d := hcaPiece(prm, t.Len, t.Len)
+				addTX(srcNode, t.Rail, d)
+				addRX(dstNode, t.Rail, d)
+				rep.WireBytes += int64(t.Len)
+			default: // ViaHCA anywhere, or ViaAuto across nodes
+				if prm.ShouldStripe(t.Len) && H > 1 {
+					for rail, piece := range netmodel.RailChunk(t.Len, H) {
+						if piece == 0 {
+							continue
+						}
+						d := hcaPiece(prm, t.Len, piece)
+						addTX(srcNode, rail, d)
+						addRX(dstNode, rail, d)
+					}
+				} else {
+					r := railRR[t.Src] % H
+					railRR[t.Src]++
+					d := hcaPiece(prm, t.Len, t.Len)
+					addTX(srcNode, r, d)
+					addRX(dstNode, r, d)
+				}
+				rep.WireBytes += int64(t.Len)
+			}
+			rep.Transfers++
+		}
+		for _, cp := range st.Copies {
+			nd := s.Topo.NodeOf(cp.Rank)
+			busy[resKey{resCPU, cp.Rank, 0}] += prm.CopyTime(cp.Count*m, memOps[nd])
+			rep.Copies++
+		}
+		var worst sim.Duration
+		for _, d := range busy {
+			if d > worst {
+				worst = d
+			}
+		}
+		rep.StepCosts[si] = worst
+		rep.Cost += worst
+
+		// Pass 4: apply deliveries for the next step.
+		for _, t := range st.Xfers {
+			hold.deliver(t.Dst, t)
+		}
+	}
+
+	// Completeness: the whole point of an allgather.
+	for r := 0; r < n && viol.n <= 8; r++ {
+		for b := 0; b < n; b++ {
+			if !hold.at(r, b).full() {
+				viol.addf("rank %d ends missing block %d", r, b)
+			}
+		}
+	}
+	if err := viol.err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// hcaPiece prices one rail piece of an adapter transfer: startup plus
+// wire time, plus the rendezvous handshake when the whole message
+// crosses the threshold — the same shape mpi.sendHCA charges per rail.
+func hcaPiece(prm *netmodel.Params, total, piece int) sim.Duration {
+	d := prm.AlphaHCA + sim.FromSeconds(float64(piece)/prm.BWHCA)
+	if total >= prm.RendezvousThreshold {
+		d += prm.AlphaRendezvous
+	}
+	return d
+}

@@ -1,0 +1,326 @@
+package sched
+
+import (
+	"fmt"
+
+	"mha/internal/netmodel"
+	"mha/internal/perfmodel"
+	"mha/internal/topology"
+)
+
+// The lowering constructors: each expresses one of the repo's hand-
+// written allgather designs as an explicit Schedule. They are pure
+// functions of (topology, message size, options) — every rank of a job
+// that builds the same schedule gets the identical plan.
+
+// Ring lowers the classic ring allgather: n-1 steps, each rank
+// forwarding the block it received in the previous step to its right
+// neighbor over the default transport.
+func Ring(topo topology.Cluster, msg int) *Schedule {
+	n := topo.Size()
+	b := NewBuilder("ring", topo, msg)
+	for s := 0; s < n-1; s++ {
+		b.Step()
+		for r := 0; r < n; r++ {
+			b.Send(r, (r+1)%n, ((r-s)%n+n)%n)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RecursiveDoubling lowers the recursive-doubling allgather: log2(n)
+// steps, each rank exchanging its accumulated aligned block range with
+// its partner at distance 2^k. Like the hand-written RDAllgather, it
+// requires a power-of-two size; other sizes fall back to the ring
+// lowering (the hand-written code falls back to Bruck, whose shifted
+// intermediate state does not map onto contiguous block ranges).
+func RecursiveDoubling(topo topology.Cluster, msg int) *Schedule {
+	n := topo.Size()
+	if n&(n-1) != 0 {
+		return Ring(topo, msg)
+	}
+	b := NewBuilder("rd", topo, msg)
+	for dist := 1; dist < n; dist *= 2 {
+		b.Step()
+		for r := 0; r < n; r++ {
+			base := r &^ (2*dist - 1) // group base after this exchange
+			mine := base
+			if r&dist != 0 {
+				mine = base + dist // r is the upper half: it holds the upper range
+			}
+			b.SendRange(r, r^dist, mine, dist)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Phase2Alg selects the leader exchange of the two-phase MHA lowering.
+type Phase2Alg int
+
+const (
+	// Phase2Ring moves node blocks around the leader ring, one striped
+	// rail transfer per leader per step.
+	Phase2Ring Phase2Alg = iota
+	// Phase2RD exchanges doubling node-block ranges between leaders;
+	// non-power-of-two node counts fall back to Phase2Ring.
+	Phase2RD
+)
+
+func (a Phase2Alg) String() string {
+	if a == Phase2RD {
+		return "rd"
+	}
+	return "ring"
+}
+
+// AutoOffload asks TwoPhaseMHA to derive the phase-1 HCA offload count
+// from the performance model (Equation 1 of the paper, floored to whole
+// transfers).
+const AutoOffload = -1
+
+// MHAOptions tunes the TwoPhaseMHA lowering.
+type MHAOptions struct {
+	// Phase2 picks the leader-exchange pattern.
+	Phase2 Phase2Alg
+	// Offload is the number of phase-1 direct-spread steps each rank
+	// hands to the adapters (whole transfers; AutoOffload uses Eq. 1).
+	Offload int
+	// Sequential disables the phase-2/phase-3 fusion: all node blocks
+	// arrive first, then one distribution step staged through a leader
+	// copy (the Kandalla-style non-overlapped baseline).
+	Sequential bool
+	// Push makes the leader push arrived blocks to its peers over CMA
+	// instead of the peers pulling them (pull spreads the copy cost
+	// across the readers' CPUs, which is how the shared-memory phase 3
+	// behaves).
+	Push bool
+}
+
+// TwoPhaseMHA lowers the paper's hierarchical multi-HCA-aware design:
+// phase 1 is the intra-node direct spread with the tail steps offloaded
+// to the adapters, phase 2 moves whole node blocks between leaders
+// striped across every rail (pinned pieces, one per rail), and phase 3
+// distributes each arrived node block inside the node, fused into the
+// following phase-2 step unless Sequential. Multi-node topologies need
+// the block layout (node blocks must be contiguous in the receive
+// buffer); single-node topologies work with either layout.
+func TwoPhaseMHA(topo topology.Cluster, prm *netmodel.Params, msg int, opt MHAOptions) *Schedule {
+	if topo.Nodes > 1 && topo.Layout != topology.Block {
+		panic(fmt.Sprintf("sched: TwoPhaseMHA needs the block layout on %v", topo))
+	}
+	if prm == nil {
+		prm = netmodel.Thor()
+	}
+	N, L, H := topo.Nodes, topo.PPN, topo.HCAs
+	d := opt.Offload
+	if d < 0 {
+		node := topo
+		node.Nodes, node.PPN, node.Sockets = 1, L, 0
+		d = int(perfmodel.New(prm, node).OffloadD(msg))
+	}
+	if d > L-1 {
+		d = L - 1
+	}
+	name := "mha-" + opt.Phase2.String()
+	if opt.Sequential {
+		name += "-seq"
+	}
+	if opt.Push {
+		name += "-push"
+	}
+	b := NewBuilder(name, topo, msg)
+
+	// Phase 1: direct spread within each node; the last d steps ride the
+	// otherwise idle adapters (loopback), matching core.offloadPlan's
+	// whole-transfer assignment.
+	for s := 1; s < L; s++ {
+		b.Step()
+		for nd := 0; nd < N; nd++ {
+			for l := 0; l < L; l++ {
+				src := topo.RankOf(nd, l)
+				dst := topo.RankOf(nd, (l+s)%L)
+				if s >= L-d {
+					b.SendHCA(src, dst, src, 1)
+				} else {
+					b.Send(src, dst, src)
+				}
+			}
+		}
+	}
+	if N == 1 {
+		return b.MustBuild()
+	}
+
+	distribute := func(nd, firstBlock, count int) {
+		leader := topo.LeaderOf(nd)
+		for l := 1; l < L; l++ {
+			peer := topo.RankOf(nd, l)
+			if opt.Push {
+				b.SendRange(leader, peer, firstBlock, count)
+			} else {
+				b.Pull(leader, peer, firstBlock, count)
+			}
+		}
+	}
+
+	if opt.Phase2 == Phase2RD && N&(N-1) == 0 {
+		// Phase 2 RD: leaders exchange doubling node-block ranges; each
+		// range received in step j is distributed during step j+1.
+		type rng struct{ base, count int }
+		prev := make([]rng, N) // range received in the previous step, per node
+		step := 0
+		for dist := 1; dist < N; dist *= 2 {
+			b.Step()
+			for v := 0; v < N; v++ {
+				base := v &^ (2*dist - 1)
+				mine := base
+				if v&dist != 0 {
+					mine = base + dist
+				}
+				b.Striped(topo.LeaderOf(v), topo.LeaderOf(v^dist), mine*L, dist*L, H)
+				if !opt.Sequential && step > 0 {
+					distribute(v, prev[v].base*L, prev[v].count*L)
+				}
+				theirs := base
+				if v&dist == 0 {
+					theirs = base + dist
+				}
+				prev[v] = rng{theirs, dist}
+			}
+			step++
+		}
+		if L > 1 {
+			b.Step()
+			for v := 0; v < N; v++ {
+				if opt.Sequential {
+					// Every remote node block at once, staged through a
+					// leader copy (the shared-memory publish).
+					for nd := 0; nd < N; nd++ {
+						if nd != v {
+							b.Copy(topo.LeaderOf(v), nd*L, L)
+							distribute(v, nd*L, L)
+						}
+					}
+				} else {
+					distribute(v, prev[v].base*L, prev[v].count*L)
+				}
+			}
+		}
+		return b.MustBuild()
+	}
+
+	// Phase 2 ring: in step k every leader forwards the node block it
+	// received in step k-1 (its own block at k = 0) and, fused, its
+	// peers read that previous block out of the leader's buffer.
+	for k := 0; k < N-1; k++ {
+		b.Step()
+		for v := 0; v < N; v++ {
+			cur := ((v-k)%N + N) % N
+			b.Striped(topo.LeaderOf(v), topo.LeaderOf((v+1)%N), cur*L, L, H)
+			if !opt.Sequential && k > 0 {
+				distribute(v, cur*L, L)
+			}
+		}
+	}
+	if L > 1 {
+		b.Step()
+		for v := 0; v < N; v++ {
+			if opt.Sequential {
+				for nd := 0; nd < N; nd++ {
+					if nd != v {
+						b.Copy(topo.LeaderOf(v), nd*L, L)
+						distribute(v, nd*L, L)
+					}
+				}
+			} else {
+				distribute(v, ((v+1)%N)*L, L)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// DirectRail is the synthesizer's greedy direct construction: every
+// cross-node (src, dst) pair gets the source's block as one pinned
+// transfer, list-scheduled into the earliest step with a rail free at
+// both endpoints (tx at the source node, rx at the destination node);
+// intra-node blocks spread over the same steps as receiver-driven
+// pulls. Returns nil when the machine's cross-traffic cannot fit the
+// step limit.
+func DirectRail(topo topology.Cluster, msg int) *Schedule {
+	n := topo.Size()
+	H := topo.HCAs
+	b := NewBuilder("direct-rail", topo, msg)
+	// txUsed/rxUsed[step][node*H+rail] track pinned endpoint occupancy.
+	var txUsed, rxUsed [][]bool
+	ensure := func(step int) bool {
+		for len(txUsed) <= step {
+			if len(txUsed) >= maxSteps {
+				return false
+			}
+			txUsed = append(txUsed, make([]bool, topo.Nodes*H))
+			rxUsed = append(rxUsed, make([]bool, topo.Nodes*H))
+			b.Step()
+		}
+		return true
+	}
+	type placed struct{ src, dst, step, rail int }
+	var plan []placed
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if dst == src || topo.SameNode(src, dst) {
+				continue
+			}
+			sn, dn := topo.NodeOf(src), topo.NodeOf(dst)
+			placedAt := -1
+			for step := 0; placedAt < 0; step++ {
+				if !ensure(step) {
+					return nil
+				}
+				for r := 0; r < H; r++ {
+					if !txUsed[step][sn*H+r] && !rxUsed[step][dn*H+r] {
+						txUsed[step][sn*H+r] = true
+						rxUsed[step][dn*H+r] = true
+						plan = append(plan, placed{src, dst, step, r})
+						placedAt = step
+						break
+					}
+				}
+			}
+		}
+	}
+	// Emit pinned transfers step by step (the builder appends to the
+	// current step, so fill each step's transfers in order).
+	steps := len(txUsed)
+	if steps == 0 {
+		if n > 1 {
+			ensure(0)
+			steps = 1
+		}
+	}
+	byStep := make([][]placed, steps)
+	for _, pl := range plan {
+		byStep[pl.step] = append(byStep[pl.step], pl)
+	}
+	b.s.Steps = b.s.Steps[:0]
+	for step := 0; step < steps; step++ {
+		b.Step()
+		for _, pl := range byStep[step] {
+			if msg == 0 {
+				b.RailPiece(pl.src, pl.dst, pl.src, 1, 0, 0, pl.rail)
+			} else {
+				b.RailPiece(pl.src, pl.dst, pl.src, 1, 0, msg, pl.rail)
+			}
+		}
+		// Spread the intra-node exchange across the schedule: in step k,
+		// every rank pulls the block of its node peer at distance k+1.
+		for r := 0; r < n; r++ {
+			nd, l := topo.NodeOf(r), topo.LocalOf(r)
+			for s := step + 1; s < topo.PPN; s += steps {
+				peer := topo.RankOf(nd, (l+s)%topo.PPN)
+				b.Pull(peer, r, peer, 1)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"mha/internal/mpi"
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// phaseSched is the tag phase id of schedule-interpreter messages.
+// Phases 0-8 belong to internal/collectives and 10-11 to internal/core;
+// a distinct id keeps traces and tag dumps unambiguous. The 16-bit step
+// field carries (step index << 7) | per-pair ordinal, which is why
+// Validate caps schedules at 512 steps and 128 same-step transfers per
+// (src, dst) pair.
+const phaseSched = 12
+
+// Execute runs the schedule on the mpi runtime as this rank's share of
+// an allgather: send is the rank's contribution (Msg bytes), recv the
+// full result (Msg * Size bytes). All ranks must call it, like any
+// collective. The schedule must match the world's topology.
+//
+// Per step, the rank posts its receives, posts its sends (payloads are
+// snapshotted at post time, so every send reads the pre-step state even
+// when a receive of the same step would overwrite it), then completes
+// receives and sends. Steps are rank-local: no global barrier separates
+// them, so a step's CMA copies overlap a neighbor's rail transfers
+// exactly as the hand-written overlapped designs do.
+//
+// Execute assumes a schedule Analyze accepts; running an invalid one
+// may deadlock the simulation (which the engine reports) or produce
+// wrong bytes (which verification catches), but never corrupts the
+// runtime.
+func Execute(p *mpi.Proc, w *mpi.World, s *Schedule, send, recv mpi.Buf) {
+	topo := w.Topo()
+	if topo.Nodes != s.Topo.Nodes || topo.PPN != s.Topo.PPN ||
+		topo.HCAs != s.Topo.HCAs || topo.Layout != s.Topo.Layout {
+		panic(fmt.Sprintf("sched: schedule for %v executed on %v", s.Topo, topo))
+	}
+	m := s.Msg
+	if send.Len() != m || recv.Len() != m*p.Size() {
+		panic(fmt.Sprintf("sched: buffer sizes (%d, %d) do not match schedule msg %d on %d ranks",
+			send.Len(), recv.Len(), m, p.Size()))
+	}
+	c := w.CommWorld()
+	me := p.Rank()
+	epoch := c.Epoch(p)
+
+	// Own contribution into place first, like every other variant.
+	p.LocalCopy(recv.Slice(me*m, m), send)
+
+	type pendingRecv struct {
+		req *mpi.Request
+		t   Transfer
+	}
+	for si := range s.Steps {
+		st := &s.Steps[si]
+		// Both endpoints must derive identical tags for the q-th transfer
+		// between a pair, so the ordinal comes from scanning the step's
+		// full transfer list in order on both sides.
+		ord := map[[2]int]int{}
+		tagOf := func(t Transfer) int {
+			k := [2]int{t.Src, t.Dst}
+			q := ord[k]
+			ord[k] = q + 1
+			return mpi.Tag(epoch, phaseSched, si<<7|q)
+		}
+		var recvs []pendingRecv
+		var sends []*mpi.Request
+		for _, t := range st.Xfers {
+			if t.Dst != me && t.Src != me {
+				tagOf(t) // keep the shared ordinal stream in sync
+				continue
+			}
+			tag := tagOf(t)
+			if t.Dst == me {
+				recvs = append(recvs, pendingRecv{p.Irecv(c, t.Src, tag), t})
+			}
+			if t.Src == me {
+				buf := recv.Slice(t.First*m+t.Off, t.Len)
+				switch t.Via {
+				case ViaPull:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ByRef()))
+				case ViaHCA:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ViaHCA()))
+				case ViaRail:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ViaRail(t.Rail)))
+				default:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf))
+				}
+			}
+		}
+		for _, pr := range recvs {
+			data := p.Wait(pr.req)
+			if pr.t.Via == ViaPull {
+				// ByRef handoff: the reader performs (and pays for) the
+				// actual copy out of the peer's buffer.
+				p.ChargeCMA(pr.t.Len)
+			}
+			recv.Slice(pr.t.First*m+pr.t.Off, pr.t.Len).CopyFrom(data)
+		}
+		for _, cp := range st.Copies {
+			if cp.Rank == me {
+				p.ChargeCopy(cp.Count * m)
+			}
+		}
+		for _, sr := range sends {
+			p.Wait(sr)
+		}
+	}
+}
+
+// Runner adapts a schedule constructor to the verify.RunFn shape: each
+// rank builds the schedule for the world's actual topology and message
+// size and executes it. Constructors are deterministic pure functions of
+// (topology, msg), so every rank builds the identical plan; the builds
+// are cheap at verification scales.
+func Runner(build func(topo topology.Cluster, msg int) *Schedule) func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+	return func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+		Execute(p, w, build(w.Topo(), send.Len()), send, recv)
+	}
+}
+
+// Simulate runs the schedule on a fresh phantom world and returns the
+// makespan (the latest rank-finish time). It is the measured counterpart
+// of Analyze's Cost: same plan, real contention.
+func Simulate(topo topology.Cluster, prm *netmodel.Params, s *Schedule) (sim.Duration, error) {
+	w := mpi.New(mpi.Config{Topo: topo, Params: prm, Phantom: true})
+	var mu sync.Mutex
+	var worst sim.Time
+	err := w.Run(func(p *mpi.Proc) {
+		Execute(p, w, s, mpi.Phantom(s.Msg), mpi.Phantom(s.Msg*p.Size()))
+		mu.Lock()
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(worst), nil
+}

@@ -1,0 +1,373 @@
+// Package sched is the communication-schedule IR: an allgather written
+// down as data instead of code. A Schedule is a sequence of steps, each a
+// set of point-to-point transfers (src rank, dst rank, block range, byte
+// window, transport/rail) plus intra-node staging copies. Transfers in
+// one step run concurrently and read the pre-step state; their effects
+// become visible in the next step.
+//
+// Representing the collective this way closes the loop the hand-written
+// designs in internal/collectives and internal/core cannot: the same
+// Schedule value can be
+//
+//   - checked statically for correctness (analyze.go: every rank ends
+//     holding every block, nothing is forwarded before it is held, pinned
+//     transfers never fight over a rail within a step) and priced on the
+//     netmodel alpha-beta cost functions without running the simulator;
+//   - executed on the internal/mpi runtime so real payload bytes move
+//     (exec.go), which is how the sched-* variants registered with
+//     internal/verify and the bench registry run;
+//   - produced by lowering the existing ring, recursive-doubling, and
+//     two-phase MHA designs (builders.go), serialized to a line-oriented
+//     text or JSON form (parse.go), and searched over by the greedy/beam
+//     synthesizer (synth.go).
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"mha/internal/topology"
+)
+
+// Via selects the transport carrying one transfer.
+type Via int
+
+const (
+	// ViaAuto uses the runtime's default policy: a CMA copy for an
+	// on-node peer, the HCA policy (round-robin small, striped large)
+	// across nodes.
+	ViaAuto Via = iota
+	// ViaPull is a receiver-driven intra-node copy: the source exposes
+	// its buffer (zero-cost pointer handoff) and the destination pays the
+	// CMA read. Valid only between ranks on the same node. This is how
+	// leader-based distribution phases spread cost across the readers.
+	ViaPull
+	// ViaHCA forces the network adapters even for an on-node peer (the
+	// MHA offload loopback), with the default rail policy.
+	ViaHCA
+	// ViaRail pins the transfer to the Rail field on both endpoints. A
+	// step grants a pinned rail exclusively per (node, direction); the
+	// analyzer rejects schedules where two pinned transfers collide.
+	ViaRail
+)
+
+func (v Via) String() string {
+	switch v {
+	case ViaAuto:
+		return "auto"
+	case ViaPull:
+		return "pull"
+	case ViaHCA:
+		return "hca"
+	case ViaRail:
+		return "rail"
+	default:
+		return fmt.Sprintf("Via(%d)", int(v))
+	}
+}
+
+// parseVia resolves the textual transport name.
+func parseVia(s string) (Via, error) {
+	switch s {
+	case "auto":
+		return ViaAuto, nil
+	case "pull":
+		return ViaPull, nil
+	case "hca":
+		return ViaHCA, nil
+	case "rail":
+		return ViaRail, nil
+	default:
+		return 0, fmt.Errorf("unknown transport %q", s)
+	}
+}
+
+// Transfer moves bytes of a contiguous block range from one rank to
+// another. Blocks are identified by contributing world rank (block b is
+// rank b's send buffer), so a range [First, First+Count) covers Count
+// consecutive ranks' contributions — with the block layout, a whole
+// node's contribution is one range, which is what lets phase-2 transfers
+// stripe a node block as one large message instead of PPN small ones.
+//
+// Off and Len select a byte window within the range (range-local
+// offsets): Off = 0, Len = Count*msg is the whole range. Partial windows
+// express striping: several transfers in one step, each pinned to a
+// different rail, covering disjoint windows of the same range.
+type Transfer struct {
+	Src, Dst     int // world ranks, Src != Dst
+	First, Count int // block range [First, First+Count)
+	Off, Len     int // byte window within the range
+	Via          Via
+	Rail         int // meaningful only when Via == ViaRail
+}
+
+// Whole reports whether the transfer carries its full block range.
+func (t Transfer) Whole(msg int) bool { return t.Off == 0 && t.Len == t.Count*msg }
+
+// Copy charges a local staging memcpy of a block range on one rank (the
+// shared-memory publish of a leader before its peers read, for example).
+// It moves no inter-rank data; the analyzer and interpreter price it on
+// the rank's CPU.
+type Copy struct {
+	Rank         int
+	First, Count int
+}
+
+// Step is one round of the schedule: its transfers and copies run
+// concurrently, all reading the state left by the previous step.
+type Step struct {
+	Xfers  []Transfer
+	Copies []Copy
+}
+
+// Schedule is a complete allgather plan for one (topology, message size)
+// pair. Msg is the per-rank contribution in bytes; rank r starts holding
+// only block r and must end holding blocks 0..Size-1.
+type Schedule struct {
+	Name  string
+	Topo  topology.Cluster
+	Msg   int
+	Steps []Step
+}
+
+// maxSteps bounds the step count so step indices fit the mpi.Tag step
+// field next to the per-pair ordinal (9 + 7 bits).
+const maxSteps = 512
+
+// maxPerPair bounds same-step transfers between one (src, dst) pair.
+const maxPerPair = 128
+
+// maxRanks and maxMsg bound the schedule's scale so byte arithmetic
+// (Count*Msg) cannot overflow and hostile parsed inputs cannot demand
+// absurd allocations downstream.
+const (
+	maxRanks = 1 << 16
+	maxMsg   = 1 << 32
+)
+
+// Blocks returns the number of blocks (= world size).
+func (s *Schedule) Blocks() int { return s.Topo.Size() }
+
+// NumTransfers counts the transfers across all steps.
+func (s *Schedule) NumTransfers() int {
+	n := 0
+	for _, st := range s.Steps {
+		n += len(st.Xfers)
+	}
+	return n
+}
+
+// Validate checks the schedule's shape: ranks and block ranges in
+// bounds, byte windows inside their ranges, transports coherent (pull
+// stays on-node, pinned rails exist), and the step/pair limits the
+// interpreter's tag scheme requires. It does not check semantics — that
+// is Analyze's job (hold tracking, rail conflicts, completeness).
+func (s *Schedule) Validate() error {
+	if err := s.Topo.Validate(); err != nil {
+		return err
+	}
+	if s.Msg < 0 || s.Msg > maxMsg {
+		return fmt.Errorf("sched: message size %d outside [0,%d]", s.Msg, maxMsg)
+	}
+	if s.Topo.Nodes > maxRanks || s.Topo.PPN > maxRanks || s.Topo.Size() > maxRanks {
+		return fmt.Errorf("sched: topology %v exceeds the %d-rank limit", s.Topo, maxRanks)
+	}
+	if len(s.Steps) > maxSteps {
+		return fmt.Errorf("sched: %d steps exceed the %d-step limit", len(s.Steps), maxSteps)
+	}
+	n := s.Topo.Size()
+	for si, st := range s.Steps {
+		pair := map[[2]int]int{}
+		for xi, t := range st.Xfers {
+			at := fmt.Sprintf("sched: step %d xfer %d", si, xi)
+			switch {
+			case t.Src < 0 || t.Src >= n || t.Dst < 0 || t.Dst >= n:
+				return fmt.Errorf("%s: rank out of range in %d->%d (size %d)", at, t.Src, t.Dst, n)
+			case t.Src == t.Dst:
+				return fmt.Errorf("%s: self transfer on rank %d (use a copy)", at, t.Src)
+			case t.Count < 1 || t.First < 0 || t.First+t.Count > n:
+				return fmt.Errorf("%s: block range [%d,%d) out of [0,%d)", at, t.First, t.First+t.Count, n)
+			case t.Off < 0 || t.Len < 0 || t.Off+t.Len > t.Count*s.Msg:
+				return fmt.Errorf("%s: byte window [%d,%d) outside range of %d bytes", at, t.Off, t.Off+t.Len, t.Count*s.Msg)
+			case s.Msg > 0 && t.Len == 0:
+				return fmt.Errorf("%s: empty byte window", at)
+			case t.Via < ViaAuto || t.Via > ViaRail:
+				return fmt.Errorf("%s: unknown transport %d", at, int(t.Via))
+			case t.Via == ViaRail && (t.Rail < 0 || t.Rail >= s.Topo.HCAs):
+				return fmt.Errorf("%s: rail %d out of range [0,%d)", at, t.Rail, s.Topo.HCAs)
+			case t.Via != ViaRail && t.Rail != 0:
+				return fmt.Errorf("%s: rail %d set on a %s transfer", at, t.Rail, t.Via)
+			case t.Via == ViaPull && !s.Topo.SameNode(t.Src, t.Dst):
+				return fmt.Errorf("%s: pull between ranks %d and %d on different nodes", at, t.Src, t.Dst)
+			}
+			pair[[2]int{t.Src, t.Dst}]++
+			if pair[[2]int{t.Src, t.Dst}] > maxPerPair {
+				return fmt.Errorf("%s: more than %d transfers %d->%d in one step", at, maxPerPair, t.Src, t.Dst)
+			}
+		}
+		for ci, cp := range st.Copies {
+			if cp.Rank < 0 || cp.Rank >= n {
+				return fmt.Errorf("sched: step %d copy %d: rank %d out of range", si, ci, cp.Rank)
+			}
+			if cp.Count < 1 || cp.First < 0 || cp.First+cp.Count > n {
+				return fmt.Errorf("sched: step %d copy %d: block range [%d,%d) out of [0,%d)", si, ci, cp.First, cp.First+cp.Count, n)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the canonical text form parsed by Parse: a header line,
+// then "step" separators with one xfer/copy line each. Whole-range
+// windows, the auto transport, and rail 0 on non-pinned transfers are
+// omitted, so String(Parse(String(s))) is a fixed point.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %s nodes=%d ppn=%d hcas=%d layout=%s msg=%d\n",
+		s.Name, s.Topo.Nodes, s.Topo.PPN, s.Topo.HCAs, s.Topo.Layout, s.Msg)
+	for _, st := range s.Steps {
+		b.WriteString("step\n")
+		for _, t := range st.Xfers {
+			fmt.Fprintf(&b, "xfer src=%d dst=%d first=%d count=%d", t.Src, t.Dst, t.First, t.Count)
+			if !t.Whole(s.Msg) {
+				fmt.Fprintf(&b, " off=%d len=%d", t.Off, t.Len)
+			}
+			if t.Via != ViaAuto {
+				fmt.Fprintf(&b, " via=%s", t.Via)
+			}
+			if t.Via == ViaRail {
+				fmt.Fprintf(&b, " rail=%d", t.Rail)
+			}
+			b.WriteByte('\n')
+		}
+		for _, cp := range st.Copies {
+			fmt.Fprintf(&b, "copy rank=%d first=%d count=%d\n", cp.Rank, cp.First, cp.Count)
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy (steps and their slices are independent).
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Name: s.Name, Topo: s.Topo, Msg: s.Msg, Steps: make([]Step, len(s.Steps))}
+	for i, st := range s.Steps {
+		out.Steps[i] = Step{
+			Xfers:  append([]Transfer(nil), st.Xfers...),
+			Copies: append([]Copy(nil), st.Copies...),
+		}
+	}
+	return out
+}
+
+// Builder accumulates a schedule step by step. Convenience emitters
+// (Send, SendRange, Pull, RailPiece, ...) append to the current step;
+// Step opens the next one. Build validates the result.
+type Builder struct {
+	s *Schedule
+}
+
+// NewBuilder starts an empty schedule for the given machine and message
+// size. The first emitter call lands in step 0 automatically.
+func NewBuilder(name string, topo topology.Cluster, msg int) *Builder {
+	return &Builder{s: &Schedule{Name: name, Topo: topo, Msg: msg}}
+}
+
+// Step opens a new (initially empty) step.
+func (b *Builder) Step() *Builder {
+	b.s.Steps = append(b.s.Steps, Step{})
+	return b
+}
+
+func (b *Builder) cur() *Step {
+	if len(b.s.Steps) == 0 {
+		b.Step()
+	}
+	return &b.s.Steps[len(b.s.Steps)-1]
+}
+
+// Xfer appends a fully-specified transfer to the current step.
+func (b *Builder) Xfer(t Transfer) *Builder {
+	st := b.cur()
+	st.Xfers = append(st.Xfers, t)
+	return b
+}
+
+// Send emits one whole block over the default transport.
+func (b *Builder) Send(src, dst, block int) *Builder {
+	return b.SendRange(src, dst, block, 1)
+}
+
+// SendRange emits a whole block range over the default transport.
+func (b *Builder) SendRange(src, dst, first, count int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Len: count * b.s.Msg})
+}
+
+// SendHCA emits a whole block range forced through the adapters with the
+// default rail policy (the offload-loopback transport).
+func (b *Builder) SendHCA(src, dst, first, count int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Len: count * b.s.Msg, Via: ViaHCA})
+}
+
+// Pull emits a receiver-driven whole-range copy from an on-node peer.
+func (b *Builder) Pull(src, dst, first, count int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Len: count * b.s.Msg, Via: ViaPull})
+}
+
+// RailPiece emits a byte window of a block range pinned to one rail.
+func (b *Builder) RailPiece(src, dst, first, count, off, n, rail int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Off: off, Len: n, Via: ViaRail, Rail: rail})
+}
+
+// Striped emits a whole block range split across every rail in pinned
+// pieces (netmodel.RailChunk sizing), or a single rail-0 transfer when
+// the range is empty (zero-byte messages still synchronize).
+func (b *Builder) Striped(src, dst, first, count, rails int) *Builder {
+	total := count * b.s.Msg
+	if total == 0 {
+		return b.RailPiece(src, dst, first, count, 0, 0, 0)
+	}
+	off := 0
+	for r := 0; r < rails; r++ {
+		// Equal split with the remainder on the first rails, matching the
+		// runtime's healthy striping.
+		piece := total / rails
+		if r < total%rails {
+			piece++
+		}
+		if piece == 0 {
+			continue
+		}
+		b.RailPiece(src, dst, first, count, off, piece, r)
+		off += piece
+	}
+	return b
+}
+
+// Copy charges a local staging copy of a block range on one rank.
+func (b *Builder) Copy(rank, first, count int) *Builder {
+	st := b.cur()
+	st.Copies = append(st.Copies, Copy{Rank: rank, First: first, Count: count})
+	return b
+}
+
+// Build validates and returns the schedule.
+func (b *Builder) Build() (*Schedule, error) {
+	if err := b.s.Validate(); err != nil {
+		return nil, err
+	}
+	return b.s, nil
+}
+
+// MustBuild is Build for the lowering constructors, whose inputs are
+// generated: a validation failure is a bug, not bad user input.
+func (b *Builder) MustBuild() *Schedule {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+// small builds a feature-complete schedule on 2x2x2: an intra-node CMA
+// send, an offload-loopback send, pinned rail pieces, a pull, and a
+// staging copy — every IR feature the serializers must round-trip.
+func small(t *testing.T) *Schedule {
+	t.Helper()
+	topo := topology.New(2, 2, 2)
+	b := NewBuilder("feature", topo, 100)
+	// Step 0: direct spread inside each node (CMA one way, loopback HCA
+	// the other) and each rank 0/1 block to the other node's ranks.
+	b.Step()
+	b.Send(0, 1, 0).SendHCA(1, 0, 1, 1)
+	b.Send(2, 3, 2).SendHCA(3, 2, 3, 1)
+	// Step 1: node blocks cross the wire as pinned rail pieces.
+	b.Step()
+	b.RailPiece(0, 2, 0, 2, 0, 100, 0).RailPiece(0, 2, 0, 2, 100, 100, 1)
+	b.RailPiece(2, 0, 2, 2, 0, 100, 0).RailPiece(2, 0, 2, 2, 100, 100, 1)
+	// Step 2: leaders stage and peers pull the remote node block.
+	b.Step()
+	b.Copy(0, 2, 2).Pull(0, 1, 2, 2)
+	b.Copy(2, 0, 2).Pull(2, 3, 0, 2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("feature schedule does not build: %v", err)
+	}
+	return s
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := small(t)
+	text := s.String()
+	s2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("String output does not parse: %v\n%s", err, text)
+	}
+	if s2.String() != text {
+		t.Fatalf("String/Parse not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, s2.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := small(t)
+	js, err := s.JSON()
+	if err != nil {
+		t.Fatalf("JSON render: %v", err)
+	}
+	s2, err := Parse(string(js))
+	if err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, js)
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("JSON round trip changed the schedule:\nwant:\n%s\ngot:\n%s", s, s2)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"empty", "", "empty input"},
+		{"no header", "step\n", "before schedule header"},
+		{"bad directive", "schedule x nodes=1 ppn=2 msg=4\nwat\n", "unknown directive"},
+		{"bad key", "schedule x nodes=1 ppn=2 msg=4 zig=3\n", "unknown key"},
+		{"bad number", "schedule x nodes=1 ppn=2 msg=banana\n", "bad msg value"},
+		{"xfer outside step", "schedule x nodes=1 ppn=2 msg=4\nxfer src=0 dst=1 first=0 count=1\n", "outside a step"},
+		{"self transfer", "schedule x nodes=1 ppn=2 msg=4\nstep\nxfer src=0 dst=0 first=0 count=1\n", "self transfer"},
+		{"rank range", "schedule x nodes=1 ppn=2 msg=4\nstep\nxfer src=0 dst=7 first=0 count=1\n", "out of range"},
+		{"window", "schedule x nodes=1 ppn=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 off=2 len=9\n", "byte window"},
+		{"lone off", "schedule x nodes=1 ppn=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 off=2\n", "off and len"},
+		{"bad via", "schedule x nodes=1 ppn=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 via=pigeon\n", "unknown transport"},
+		{"rail range", "schedule x nodes=2 ppn=1 hcas=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 via=rail rail=5\n", "rail 5 out of range"},
+		{"rail on auto", "schedule x nodes=2 ppn=1 hcas=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 rail=1\n", "rail 1 set on"},
+		{"cross-node pull", "schedule x nodes=2 ppn=1 hcas=2 msg=4\nstep\nxfer src=0 dst=1 first=0 count=1 via=pull\n", "different nodes"},
+		{"huge topo", "schedule x nodes=99999999 ppn=99999999 msg=4\n", "rank limit"},
+		{"bad json", "{", "bad JSON"},
+		{"json layout", `{"name":"x","nodes":1,"ppn":2,"hcas":1,"layout":"diagonal","msg":4,"steps":[]}`, "unknown layout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAnalyzeAcceptsLowerings(t *testing.T) {
+	prm := netmodel.Thor()
+	topos := []topology.Cluster{
+		topology.New(1, 1, 1),
+		topology.New(2, 2, 2),
+		topology.New(4, 3, 1),
+		{Nodes: 1, PPN: 4, HCAs: 2, Layout: topology.Block},
+		{Nodes: 3, PPN: 2, HCAs: 2, Layout: topology.Cyclic},
+	}
+	for _, topo := range topos {
+		for _, msg := range []int{0, 13, 65536} {
+			builds := map[string]*Schedule{
+				"ring": Ring(topo, msg),
+				"rd":   RecursiveDoubling(topo, msg),
+			}
+			if topo.Layout == topology.Block || topo.Nodes == 1 {
+				builds["mha"] = TwoPhaseMHA(topo, prm, msg, MHAOptions{Offload: AutoOffload})
+				builds["mha-seq"] = TwoPhaseMHA(topo, prm, msg, MHAOptions{Sequential: true, Push: true})
+			}
+			if dr := DirectRail(topo, msg); dr != nil {
+				builds["direct-rail"] = dr
+			}
+			for name, s := range builds {
+				rep, err := Analyze(s, prm)
+				if err != nil {
+					t.Errorf("%s on %v msg=%d: %v", name, topo, msg, err)
+					continue
+				}
+				if rep.Cost <= 0 {
+					t.Errorf("%s on %v msg=%d: non-positive cost %v", name, topo, msg, rep.Cost)
+				}
+				if topo.Nodes > 1 && msg > 0 && rep.WireBytes == 0 {
+					t.Errorf("%s on %v msg=%d: no wire traffic", name, topo, msg)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeRejectsBroken hand-breaks schedules in the three ways the
+// analyzer must catch: a block never delivered, a forward of data not
+// yet held, and two pinned transfers fighting over one rail endpoint.
+func TestAnalyzeRejectsBroken(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.New(2, 2, 2)
+
+	t.Run("missing block", func(t *testing.T) {
+		s := Ring(topo, 64)
+		s.Steps = s.Steps[:len(s.Steps)-1] // drop the final forwarding round
+		_, err := Analyze(s, prm)
+		if err == nil || !strings.Contains(err.Error(), "missing block") {
+			t.Fatalf("truncated ring not rejected: %v", err)
+		}
+	})
+
+	t.Run("send before hold", func(t *testing.T) {
+		s := Ring(topo, 64)
+		// Rank 0 forwards block 3 in the very first step; it only
+		// receives block 3 at the end of that step.
+		s.Steps[0].Xfers = append(s.Steps[0].Xfers,
+			Transfer{Src: 0, Dst: 1, First: 3, Count: 1, Len: 64})
+		_, err := Analyze(s, prm)
+		if err == nil || !strings.Contains(err.Error(), "before holding it") {
+			t.Fatalf("premature forward not rejected: %v", err)
+		}
+	})
+
+	t.Run("stage before hold", func(t *testing.T) {
+		s := Ring(topo, 64)
+		s.Steps[0].Copies = append(s.Steps[0].Copies, Copy{Rank: 0, First: 2, Count: 1})
+		_, err := Analyze(s, prm)
+		if err == nil || !strings.Contains(err.Error(), "stages block") {
+			t.Fatalf("premature staging copy not rejected: %v", err)
+		}
+	})
+
+	t.Run("rail conflict tx", func(t *testing.T) {
+		b := NewBuilder("conflict", topo, 64)
+		b.Step()
+		// Ranks 0 and 1 share node 0: both pin rail 1 for transmit.
+		b.RailPiece(0, 2, 0, 1, 0, 64, 1)
+		b.RailPiece(1, 3, 1, 1, 0, 64, 1)
+		s, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Analyze(s, prm)
+		if err == nil || !strings.Contains(err.Error(), "rail conflict") {
+			t.Fatalf("tx rail conflict not rejected: %v", err)
+		}
+	})
+
+	t.Run("rail conflict rx", func(t *testing.T) {
+		// Three single-rank nodes: transfers from nodes 0 and 1 converge
+		// on node 2's rail 0 receive engine.
+		b := NewBuilder("conflict", topology.New(3, 1, 2), 64)
+		b.Step()
+		b.RailPiece(0, 2, 0, 1, 0, 64, 0)
+		b.RailPiece(1, 2, 1, 1, 0, 64, 0)
+		s, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Analyze(s, prm)
+		if err == nil || !strings.Contains(err.Error(), "rail conflict") {
+			t.Fatalf("rx rail conflict not rejected: %v", err)
+		}
+	})
+}
+
+// TestPartialWindows checks the byte-interval bookkeeping: a block
+// forwarded as two half-windows in one step counts as held afterwards,
+// but a half-delivered block does not satisfy completeness.
+func TestPartialWindows(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.New(2, 1, 2)
+	b := NewBuilder("halves", topo, 100)
+	b.Step()
+	b.RailPiece(0, 1, 0, 1, 0, 50, 0).RailPiece(0, 1, 0, 1, 50, 50, 1)
+	b.RailPiece(1, 0, 1, 1, 0, 50, 0).RailPiece(1, 0, 1, 1, 50, 50, 1)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(s, prm); err != nil {
+		t.Fatalf("split delivery rejected: %v", err)
+	}
+
+	// Remove one half: rank 1 now ends with half of block 0.
+	s.Steps[0].Xfers = s.Steps[0].Xfers[1:]
+	if _, err := Analyze(s, prm); err == nil || !strings.Contains(err.Error(), "missing block") {
+		t.Fatalf("half-delivered block not rejected: %v", err)
+	}
+}
+
+func TestRingFallbackForNonPow2(t *testing.T) {
+	topo := topology.New(1, 6, 1)
+	if s := RecursiveDoubling(topo, 8); s.Name != "ring" {
+		t.Fatalf("non-power-of-two RD lowered to %q, want ring fallback", s.Name)
+	}
+	if s := RecursiveDoubling(topology.New(1, 8, 1), 8); s.Name != "rd" {
+		t.Fatalf("power-of-two RD lowered to %q", s.Name)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mha/internal/collectives"
 	"mha/internal/core"
 	"mha/internal/mpi"
+	"mha/internal/sched"
 	"mha/internal/topology"
 )
 
@@ -97,6 +98,16 @@ var registry = []Algorithm{
 		}},
 	{Name: "mha-3level", Run: core.MHA3LevelAllgather, BlockOnly: true},
 	{Name: "mha-intra", Run: onComm(core.MHAIntraAllgather), SingleNode: true},
+	// Schedule-interpreter variants (internal/sched): the same designs
+	// lowered to the explicit schedule IR and run by the interpreter, so
+	// the campaign differentially checks the IR semantics against the
+	// hand-written implementations above under the full scenario space.
+	{Name: "sched-ring", Run: sched.Runner(sched.Ring)},
+	{Name: "sched-rd", Run: sched.Runner(sched.RecursiveDoubling)},
+	{Name: "sched-mha", BlockOnly: true,
+		Run: sched.Runner(func(topo topology.Cluster, msg int) *sched.Schedule {
+			return sched.TwoPhaseMHA(topo, nil, msg, sched.MHAOptions{Offload: sched.AutoOffload})
+		})},
 }
 
 // Algorithms returns the registered variants sorted by name.

@@ -151,13 +151,13 @@ func TestSpecRoundTrip(t *testing.T) {
 func TestParseSpecRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"",
-		"nodes=2",                          // missing alg
-		"alg=no-such-algorithm nodes=2",    // unknown variant
-		"alg=ring nodes=x",                 // non-numeric
-		"alg=ring bogus=1",                 // unknown key
-		"alg=ring nodes=0",                 // invalid topology
-		"alg=mha-intra nodes=2 ppn=2",      // contract violation
-		"alg=ring faults=down node=5 z=1",  // bad fault field
+		"nodes=2",                         // missing alg
+		"alg=no-such-algorithm nodes=2",   // unknown variant
+		"alg=ring nodes=x",                // non-numeric
+		"alg=ring bogus=1",                // unknown key
+		"alg=ring nodes=0",                // invalid topology
+		"alg=mha-intra nodes=2 ppn=2",     // contract violation
+		"alg=ring faults=down node=5 z=1", // bad fault field
 		"alg=ring nodes=2 ppn=1 layout=hexagonal",
 	} {
 		if _, err := ParseSpec(bad); err == nil {

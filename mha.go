@@ -33,6 +33,7 @@ import (
 	"mha/internal/mpi"
 	"mha/internal/netmodel"
 	"mha/internal/perfmodel"
+	"mha/internal/sched"
 	"mha/internal/sim"
 	"mha/internal/topology"
 	"mha/internal/trace"
@@ -254,6 +255,57 @@ var (
 	ParseFaults      = faults.Parse
 	RandomFaults     = faults.Random
 )
+
+// Communication-schedule IR (internal/sched, cmd/mhasched): the
+// collective designs as explicit data — steps of (src, dst, block
+// window, transport/rail) transfers plus intra-node staging copies —
+// with a static analyzer (correctness invariants, alpha-beta
+// critical-path cost), an interpreter that executes any valid schedule
+// on the simulated runtime, and a beam synthesizer over stripe/rail/
+// fusion choices.
+type (
+	// Schedule is an explicit communication schedule.
+	Schedule = sched.Schedule
+	// ScheduleStep is one synchronization round of a Schedule.
+	ScheduleStep = sched.Step
+	// ScheduleTransfer is one point-to-point transfer of a step.
+	ScheduleTransfer = sched.Transfer
+	// ScheduleReport is the analyzer's verdict: cost plus traffic census.
+	ScheduleReport = sched.Report
+	// ScheduleBuilder accumulates steps into a validated Schedule.
+	ScheduleBuilder = sched.Builder
+	// SynthesisResult is the schedule-search outcome (best plan plus the
+	// measured hand-written baselines).
+	SynthesisResult = sched.SynthResult
+	// SynthesisOptions tunes the schedule search (beam width, rounds).
+	SynthesisOptions = sched.SynthOptions
+)
+
+// Schedule lowerings, serialization, and tooling entry points.
+var (
+	// RingSchedule / RDSchedule / MHASchedule lower the hand-written
+	// designs to the IR; MHASchedule uses the analytic offload (Eq. 1).
+	RingSchedule = sched.Ring
+	RDSchedule   = sched.RecursiveDoubling
+	// ParseSchedule reads the text or JSON form (see Schedule.String and
+	// Schedule.JSON); AnalyzeSchedule checks invariants and prices the
+	// critical path; ExecuteSchedule runs a valid schedule as this rank's
+	// share of an allgather; SimulateSchedule measures one phantom run.
+	ParseSchedule    = sched.Parse
+	AnalyzeSchedule  = sched.Analyze
+	ExecuteSchedule  = sched.Execute
+	SimulateSchedule = sched.Simulate
+	// SynthesizeSchedule searches schedule space for a machine and
+	// message size; the emitted plan simulates no slower than the best
+	// hand-written lowering.
+	SynthesizeSchedule = sched.Synthesize
+)
+
+// MHASchedule lowers the paper's two-phase hierarchical design to the
+// schedule IR with the analytic phase-1 offload.
+func MHASchedule(topo Cluster, prm *Params, msg int) *Schedule {
+	return sched.TwoPhaseMHA(topo, prm, msg, sched.MHAOptions{Offload: sched.AutoOffload})
+}
 
 // NewModel builds the analytic cost model of Section 4 for a shape.
 func NewModel(p *Params, c Cluster) Model { return perfmodel.New(p, c) }
