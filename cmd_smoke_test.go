@@ -246,3 +246,35 @@ func TestSmokeMhaschedRejectsInvalid(t *testing.T) {
 		t.Fatalf("diagnostic unexpected:\n%s", out)
 	}
 }
+
+func TestSmokeMhacluster(t *testing.T) {
+	out := run(t, "mhacluster", "policy-compare", "-workload", "burst", "-jobs", "4")
+	for _, want := range []string{"policy comparison", "packed", "spread", "rail-aware",
+		"lowest mean slowdown: rail-aware"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("policy-compare output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "mhacluster", "run", "-nodes", "4", "-ppn", "4", "-jobs", "4",
+		"-payload", "-timeline", "-faults", "down node=1 rail=1 until=100us")
+	for _, want := range []string{"per-job metrics", "trace hash", "legend", "J=job"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "mhacluster", "sweep", "-jobs", "2,4", "-policy", "packed")
+	if !strings.Contains(out, "load sweep") {
+		t.Fatalf("sweep output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhaclusterRejectsBadPolicy(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "mhacluster"), "run", "-policy", "best-fit")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad policy accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown policy") {
+		t.Fatalf("bad-policy diagnostic unexpected:\n%s", out)
+	}
+}

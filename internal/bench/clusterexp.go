@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mha/internal/cluster"
+	"mha/internal/faults"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// clusterBurst returns n identical b-byte allgather jobs of `ranks` ranks
+// all arriving at t=0 — the bursty contended scenario where placement
+// policy decides how many jobs share a node's rails.
+func clusterBurst(n, ranks, bytes int) []cluster.JobSpec {
+	jobs := make([]cluster.JobSpec, n)
+	for i := range jobs {
+		jobs[i] = cluster.JobSpec{ID: i, Coll: cluster.Allgather, Msg: bytes, Ranks: ranks}
+	}
+	return jobs
+}
+
+// clusterScenario is one workload in the policy comparison.
+type clusterScenario struct {
+	name   string
+	jobs   []cluster.JobSpec
+	faults *faults.Schedule
+}
+
+func clusterScenarios(sc Scale, topo topology.Cluster) []clusterScenario {
+	burstJobs := 4
+	if sc == Full {
+		burstJobs = 8
+	}
+	mixedJobs := 8
+	if sc == Full {
+		mixedJobs = 24
+	}
+	return []clusterScenario{
+		{name: "burst", jobs: clusterBurst(burstJobs, 6, 256<<10)},
+		{name: "mixed", jobs: cluster.RandomJobs(42, mixedJobs, topo, 400*sim.Microsecond)},
+		{name: "burst+fault", jobs: clusterBurst(burstJobs, 6, 256<<10),
+			faults: faults.MustNew(
+				faults.Fault{Kind: faults.Down, Node: 1, Rail: 1,
+					Until: sim.Time(300 * sim.Microsecond)},
+				faults.Fault{Kind: faults.Degrade, Node: 2, Rail: 0, Fraction: 0.5},
+			)},
+	}
+}
+
+// runClusterExperiment compares the three placement policies of the
+// multi-tenant scheduler on contended workloads sharing one fabric. The
+// claim on trial: rail-aware placement yields lower mean slowdown than
+// packed whenever the burst forces packed to co-locate jobs on one node's
+// rails, and the ordering survives a rail fault.
+func runClusterExperiment(w io.Writer, sc Scale) error {
+	topo := topology.New(8, 4, 2)
+	if sc == Full {
+		topo = topology.New(16, 8, 2)
+	}
+	tbl := NewTable(fmt.Sprintf("multi-tenant scheduler: policy comparison, %dx%dx%d fabric",
+		topo.Nodes, topo.PPN, topo.HCAs),
+		"scenario", "policy", "makespan (us)", "mean wait (us)", "mean slowdown", "max slowdown")
+	tbl.Notes = "slowdown = concurrent runtime / isolated runtime of the same job at the same placement;\n" +
+		"burst = simultaneous 256 KB allgathers, mixed = seeded random arrivals, +fault = one rail down + one degraded"
+	for _, scen := range clusterScenarios(sc, topo) {
+		for _, policy := range cluster.Policies() {
+			res, err := cluster.Run(cluster.Config{
+				Topo:   topo,
+				Policy: policy,
+				Faults: scen.faults,
+			}, scen.jobs)
+			if err != nil {
+				return fmt.Errorf("cluster %s/%s: %v", scen.name, policy, err)
+			}
+			tbl.Add(scen.name, policy,
+				sim.Duration(res.Makespan).Micros(), res.MeanWait.Micros(),
+				res.MeanSlowdown, res.MaxSlowdown)
+		}
+	}
+	return tbl.Fprint(w)
+}
+
+// ClusterBurstMakespan measures the burst scenario's makespan under one
+// policy — the tier-1 probe of the scheduler's trajectory.
+func ClusterBurstMakespan(topo topology.Cluster, policy string) (sim.Duration, error) {
+	res, err := cluster.Run(cluster.Config{Topo: topo, Policy: policy, SkipIsolated: true},
+		clusterBurst(4, 6, 256<<10))
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(res.Makespan), nil
+}
+
+func init() {
+	register("cluster", "multi-tenant scheduler: placement policy comparison on a shared fabric", runClusterExperiment)
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mha/internal/cluster"
+	"mha/internal/topology"
+)
+
+// TestClusterRailAwareBeatsPacked pins the experiment's headline claim
+// programmatically (the golden only freezes the numbers): on the Quick
+// burst scenario, rail-aware placement has strictly lower mean slowdown
+// than packed.
+func TestClusterRailAwareBeatsPacked(t *testing.T) {
+	topo := topology.New(8, 4, 2)
+	jobs := clusterBurst(4, 6, 256<<10)
+	run := func(policy string) *cluster.Result {
+		res, err := cluster.Run(cluster.Config{Topo: topo, Policy: policy}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return res
+	}
+	packed := run(cluster.Packed)
+	aware := run(cluster.RailAware)
+	if aware.MeanSlowdown >= packed.MeanSlowdown {
+		t.Fatalf("rail-aware mean slowdown %.3f not better than packed %.3f",
+			aware.MeanSlowdown, packed.MeanSlowdown)
+	}
+}
+
+// TestClusterExperimentRuns smoke-runs the table at Quick scale and
+// checks every scenario/policy pair appears.
+func TestClusterExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	e, ok := ByID("cluster")
+	if !ok {
+		t.Fatal("cluster experiment not registered")
+	}
+	if err := e.Run(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"burst", "mixed", "burst+fault",
+		cluster.Packed, cluster.Spread, cluster.RailAware} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"mha/internal/cluster"
 	"mha/internal/core"
 	"mha/internal/faults"
 	"mha/internal/netmodel"
@@ -58,6 +59,17 @@ func Tier1(sc Scale) []Tier1Metric {
 		ID:     "fig15-allreduce-mha-1m",
 		Micros: AllreduceLatency(inter, prm, 1<<20, core.Profile()).Micros(),
 	})
+	clusterTopo := topology.New(8, 4, 2)
+	for _, policy := range []string{cluster.Packed, cluster.RailAware} {
+		d, err := ClusterBurstMakespan(clusterTopo, policy)
+		if err != nil {
+			continue // a scheduler regression shows up as a missing probe
+		}
+		out = append(out, Tier1Metric{
+			ID:     "cluster-" + policy + "-burst-makespan",
+			Micros: d.Micros(),
+		})
+	}
 	return out
 }
 

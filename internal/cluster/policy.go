@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"sort"
+
+	"mha/internal/mpi"
+	"mha/internal/sim"
+)
+
+// Placement policy names accepted by Config.Policy.
+const (
+	// Packed fills ranks in world order: jobs land on the lowest free
+	// ranks, minimizing node count per job but happily co-locating
+	// consecutive jobs on the same node's rails.
+	Packed = "packed"
+	// Spread balances ranks across nodes: each slot goes to the node
+	// with the most free slots, maximizing per-job rail count at the
+	// price of more inter-node traffic.
+	Spread = "spread"
+	// RailAware packs like Packed but orders nodes by how contended
+	// their rails are right now: nodes hosting fewer jobs come first,
+	// then nodes with more healthy planned rails (rail-health registry),
+	// then less rail backlog. It is the policy the paper's rail-
+	// occupancy argument implies.
+	RailAware = "rail-aware"
+)
+
+// Policies lists the placement policies in comparison order.
+func Policies() []string { return []string{Packed, Spread, RailAware} }
+
+// place chooses `need` free world ranks for a new job under the given
+// policy, or returns nil when fewer than `need` ranks are free. The
+// returned slice is the job's comm-rank order. jobsOnNode counts the jobs
+// currently holding at least one rank on each node; now is the admission
+// time (rail-backlog queries are time-dependent).
+func place(policy string, w *mpi.World, free []bool, jobsOnNode []int, need int, now sim.Time) []int {
+	avail := 0
+	for _, f := range free {
+		if f {
+			avail++
+		}
+	}
+	if avail < need {
+		return nil
+	}
+	switch policy {
+	case Spread:
+		return placeSpread(w, free, need)
+	case RailAware:
+		return placeRailAware(w, free, jobsOnNode, need, now)
+	default: // Packed
+		return placePacked(free, need)
+	}
+}
+
+func placePacked(free []bool, need int) []int {
+	out := make([]int, 0, need)
+	for r := 0; r < len(free) && len(out) < need; r++ {
+		if free[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func placeSpread(w *mpi.World, free []bool, need int) []int {
+	topo := w.Topo()
+	freeOn := make([][]int, topo.Nodes)
+	for r := 0; r < len(free); r++ {
+		if free[r] {
+			nd := topo.NodeOf(r)
+			freeOn[nd] = append(freeOn[nd], r)
+		}
+	}
+	out := make([]int, 0, need)
+	for len(out) < need {
+		best := -1
+		for nd := range freeOn {
+			if len(freeOn[nd]) == 0 {
+				continue
+			}
+			if best < 0 || len(freeOn[nd]) > len(freeOn[best]) {
+				best = nd
+			}
+		}
+		out = append(out, freeOn[best][0])
+		freeOn[best] = freeOn[best][1:]
+	}
+	sort.Ints(out)
+	return out
+}
+
+func placeRailAware(w *mpi.World, free []bool, jobsOnNode []int, need int, now sim.Time) []int {
+	topo := w.Topo()
+	health := w.Health()
+	nodes := make([]int, topo.Nodes)
+	backlog := make([]sim.Duration, topo.Nodes)
+	rails := make([]int, topo.Nodes)
+	for nd := range nodes {
+		nodes[nd] = nd
+		backlog[nd] = w.RailBacklog(nd, now)
+		rails[nd] = health.PlanRails(nd)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if jobsOnNode[a] != jobsOnNode[b] {
+			return jobsOnNode[a] < jobsOnNode[b] // fewer tenants first
+		}
+		if rails[a] != rails[b] {
+			return rails[a] > rails[b] // more surviving rails first
+		}
+		if backlog[a] != backlog[b] {
+			return backlog[a] < backlog[b] // less queued rail work first
+		}
+		return a < b
+	})
+	out := make([]int, 0, need)
+	for _, nd := range nodes {
+		for _, r := range topo.NodeRanks(nd) {
+			if free[r] {
+				out = append(out, r)
+				if len(out) == need {
+					sort.Ints(out)
+					return out
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"mha/internal/faults"
+	"mha/internal/mpi"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+func freshPlacer(t *testing.T, topo topology.Cluster, sched *faults.Schedule) (*mpi.World, []bool, []int) {
+	t.Helper()
+	w := mpi.New(mpi.Config{Topo: topo, Params: nil, Phantom: true, Faults: sched})
+	free := make([]bool, topo.Size())
+	for i := range free {
+		free[i] = true
+	}
+	return w, free, make([]int, topo.Nodes)
+}
+
+func TestPlacePacked(t *testing.T) {
+	w, free, jobs := freshPlacer(t, topology.New(4, 4, 2), nil)
+	got := place(Packed, w, free, jobs, 6, 0)
+	if want := []int{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("packed placement = %v, want %v", got, want)
+	}
+	free[1] = false
+	got = place(Packed, w, free, jobs, 4, 0)
+	if want := []int{0, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("packed with hole = %v, want %v", got, want)
+	}
+}
+
+func TestPlaceSpread(t *testing.T) {
+	w, free, jobs := freshPlacer(t, topology.New(4, 4, 2), nil)
+	got := place(Spread, w, free, jobs, 4, 0)
+	if want := []int{0, 4, 8, 12}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("spread placement = %v, want one rank per node %v", got, want)
+	}
+}
+
+func TestPlaceInsufficient(t *testing.T) {
+	w, free, jobs := freshPlacer(t, topology.New(2, 2, 2), nil)
+	free[0] = false
+	if got := place(Packed, w, free, jobs, 4, 0); got != nil {
+		t.Fatalf("placement with 3 free ranks for 4 = %v, want nil", got)
+	}
+}
+
+// TestRailAwareAvoidsTenants: with node 0 already hosting a job, the
+// rail-aware placer starts on the emptiest nodes instead.
+func TestRailAwareAvoidsTenants(t *testing.T) {
+	w, free, jobs := freshPlacer(t, topology.New(4, 4, 2), nil)
+	jobs[0] = 1
+	free[0], free[1] = false, false
+	got := place(RailAware, w, free, jobs, 4, 0)
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("rail-aware placement = %v, want it to skip tenant node 0: %v", got, want)
+	}
+	// Packed would have grabbed node 0's free tail first.
+	if got := place(Packed, w, free, jobs, 4, 0); got[0] != 2 {
+		t.Fatalf("packed control placement starts at %d, want 2", got[0])
+	}
+}
+
+// TestRailAwareAvoidsDeadRails: a node whose rail is down for the whole
+// run ranks behind healthy nodes.
+func TestRailAwareAvoidsDeadRails(t *testing.T) {
+	sched := faults.MustNew(faults.Fault{Kind: faults.Down, Node: 0, Rail: 0})
+	w, free, jobs := freshPlacer(t, topology.New(4, 4, 2), sched)
+	got := place(RailAware, w, free, jobs, 4, 0)
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("rail-aware placement = %v, want healthy node 1 first: %v", got, want)
+	}
+}
+
+// TestRailAwareBeatsPackedContended is the headline acceptance property:
+// on a bursty contended scenario, rail-aware placement yields lower mean
+// slowdown than packed because it refuses to co-locate jobs on one
+// node's rails while empty nodes remain.
+func TestRailAwareBeatsPackedContended(t *testing.T) {
+	topo := topology.New(8, 4, 2)
+	jobs := []JobSpec{
+		{ID: 0, Coll: Allgather, Msg: 256 << 10, Ranks: 6},
+		{ID: 1, Coll: Allgather, Msg: 256 << 10, Ranks: 6},
+		{ID: 2, Coll: Allgather, Msg: 256 << 10, Ranks: 6},
+		{ID: 3, Coll: Allgather, Msg: 256 << 10, Ranks: 6},
+	}
+	run := func(policy string) *Result {
+		res, err := Run(Config{Topo: topo, Policy: policy}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return res
+	}
+	packed := run(Packed)
+	aware := run(RailAware)
+	if aware.MeanSlowdown >= packed.MeanSlowdown {
+		t.Fatalf("rail-aware mean slowdown %.3f not better than packed %.3f",
+			aware.MeanSlowdown, packed.MeanSlowdown)
+	}
+	if aware.MeanSlowdown < 1.0-1e-9 {
+		t.Fatalf("rail-aware mean slowdown %.3f below 1: isolated baseline broken", aware.MeanSlowdown)
+	}
+}
+
+// TestPlacementSortedAndDisjoint: every policy returns sorted, disjoint,
+// currently-free ranks.
+func TestPlacementSortedAndDisjoint(t *testing.T) {
+	for _, policy := range Policies() {
+		w, free, jobs := freshPlacer(t, topology.New(4, 4, 2), nil)
+		taken := map[int]bool{}
+		for round := 0; round < 3; round++ {
+			got := place(policy, w, free, jobs, 5, sim.Time(round))
+			if len(got) != 5 {
+				t.Fatalf("%s round %d: %d ranks, want 5", policy, round, len(got))
+			}
+			for i, r := range got {
+				if taken[r] || !free[r] {
+					t.Fatalf("%s round %d: rank %d reused", policy, round, r)
+				}
+				if i > 0 && got[i-1] >= r {
+					t.Fatalf("%s round %d: placement %v not sorted", policy, round, got)
+				}
+				taken[r] = true
+				free[r] = false
+			}
+		}
+	}
+}

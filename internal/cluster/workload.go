@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// RandomJobs generates a seeded mixed workload of n jobs for a topology:
+// mostly allgathers with a tail of allreduces and bcasts, payloads from
+// 4 KB to 256 KB, rank counts from 2 to the world size, arrivals uniform
+// over the horizon, priorities 0-3. The same seed always yields the same
+// stream, so scheduler runs over generated workloads stay reproducible.
+func RandomJobs(seed int64, n int, topo topology.Cluster, horizon sim.Duration) []JobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	size := topo.Size()
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	out := make([]JobSpec, n)
+	for i := range out {
+		coll := Allgather
+		switch v := rng.Float64(); {
+		case v < 0.60:
+			coll = Allgather
+		case v < 0.85:
+			coll = Allreduce
+		default:
+			coll = Bcast
+		}
+		ranks := 2
+		if size > 2 {
+			ranks = 2 + rng.Intn(size-1)
+		}
+		arrival := sim.Time(0)
+		if horizon > 0 {
+			arrival = sim.Time(rng.Int63n(int64(horizon) + 1))
+		}
+		out[i] = JobSpec{
+			ID:       i,
+			Coll:     coll,
+			Msg:      sizes[rng.Intn(len(sizes))],
+			Ranks:    ranks,
+			Arrival:  arrival,
+			Priority: rng.Intn(4),
+		}
+	}
+	return out
+}

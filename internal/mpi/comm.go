@@ -13,6 +13,7 @@ import (
 type Comm struct {
 	w          *World
 	id         int
+	owner      string      // attribution label for audits ("" = unowned)
 	ranks      []int       // comm rank -> world rank
 	index      map[int]int // world rank -> comm rank
 	barCounter *sim.Counter
@@ -81,6 +82,24 @@ func (w *World) CommNamed(key string, ranks func() []int) *Comm {
 	}
 	w.named[key] = c
 	return c
+}
+
+// SetOwner labels the communicator with the job (or other party) its
+// traffic belongs to. The label propagates to teardown audits: a leaked
+// send or a still-busy rail is attributed to the owning job instead of
+// being reported anonymously — essential once several jobs share one
+// world. Setting it again re-labels; "" removes the label.
+func (c *Comm) SetOwner(label string) {
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	c.owner = label
+}
+
+// Owner returns the label set with SetOwner ("" = unowned).
+func (c *Comm) Owner() string {
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	return c.owner
 }
 
 // Size returns the number of ranks in the communicator.

@@ -142,6 +142,25 @@ func (h *RailHealth) bestRail(srcNode, dstNode, rail int, avoid int, t sim.Time)
 	return soonest, false
 }
 
+// RailBacklog reports how much queued transfer work a node's rails still
+// hold at virtual time t: the sum, over every rail's transmit and receive
+// engine, of how far its next-free time lies in the future. It is the
+// "how contended is this node right now" signal placement policies
+// (internal/cluster's rail-aware placer) consult before co-locating a new
+// job with running ones.
+func (w *World) RailBacklog(node int, t sim.Time) sim.Duration {
+	var sum sim.Duration
+	for _, a := range w.nodes[node].hcas {
+		if f := a.tx.FreeAt(); f > t {
+			sum += sim.Duration(f - t)
+		}
+		if f := a.rx.FreeAt(); f > t {
+			sum += sim.Duration(f - t)
+		}
+	}
+	return sum
+}
+
 // RailStat summarizes one rail's utilization after a run: the cumulative
 // busy time and acquisition counts of its transmit and receive engines.
 type RailStat struct {

@@ -14,10 +14,11 @@ const AnySource = -1
 
 // sendOpts carries transport selection for one send.
 type sendOpts struct {
-	forceHCA bool // use an HCA even for an intra-node peer (loopback)
-	rail     int  // specific rail index, or -1 for the default policy
-	noStripe bool // never stripe, even above the striping threshold
-	byRef    bool // zero-cost pointer handoff (same node only)
+	forceHCA bool   // use an HCA even for an intra-node peer (loopback)
+	rail     int    // specific rail index, or -1 for the default policy
+	noStripe bool   // never stripe, even above the striping threshold
+	byRef    bool   // zero-cost pointer handoff (same node only)
+	owner    string // owning job label, from the comm (audit attribution)
 }
 
 // SendOption customizes how a message is carried.
@@ -68,6 +69,9 @@ type Request struct {
 func (p *Proc) Isend(c *Comm, dst, tag int, data Buf, opts ...SendOption) *Request {
 	var o sendOpts
 	o.rail = -1
+	// The engine serializes process execution, so the plain owner read is
+	// ordered after any SetOwner by the dispatching scheduler.
+	o.owner = c.owner
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -224,6 +228,8 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	for i, r := range rails {
 		d := p.w.perturb(prm.AlphaHCA+rendezvous+sim.FromSeconds(float64(pieces[i])/prm.BWHCA)) + extraLat[i]
 		s, e := sim.AcquireTogether(d, srcNode.hcas[r].tx, dstNode.hcas[r].rx)
+		srcNode.hcas[r].tx.MarkOwner(o.owner)
+		dstNode.hcas[r].rx.MarkOwner(o.owner)
 		if crossLeaf {
 			// The piece also consumes leaf up/downlink capacity from the
 			// moment it starts injecting; a piece is only delivered once

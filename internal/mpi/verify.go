@@ -14,7 +14,10 @@ import (
 // CheckQuiescent), it names leaks in MPI terms: a rank whose mailbox still
 // holds messages received a send nobody posted a matching receive for, and
 // a rail whose cumulative busy time exceeds the makespan double-charged an
-// occupation. A nil error means the job tore down cleanly.
+// occupation. With several jobs multiplexed onto one world (internal/
+// cluster), leaks are attributed per owning communicator — "job3 leaked 2"
+// rather than one undifferentiated count — and a busy rail names the job
+// that last acquired it. A nil error means the job tore down cleanly.
 func (w *World) VerifyTeardown() error {
 	makespan := sim.Duration(w.eng.Stats().Now)
 	var bad []string
@@ -22,18 +25,64 @@ func (w *World) VerifyTeardown() error {
 		bad = append(bad, err.Error())
 	}
 	for _, rs := range w.ranks {
-		if n := rs.mbox.Pending(); n > 0 {
-			bad = append(bad, fmt.Sprintf("rank %d: %d sent messages never received", rs.rank, n))
+		items := rs.mbox.PendingItems()
+		if len(items) == 0 {
+			continue
 		}
+		bad = append(bad, fmt.Sprintf("rank %d: %d sent messages never received%s",
+			rs.rank, len(items), w.leakByOwner(items)))
 	}
-	for _, st := range w.RailStats() {
-		if st.TxBusy > makespan || st.RxBusy > makespan {
-			bad = append(bad, fmt.Sprintf("node %d rail %d: busy tx=%v rx=%v exceeds makespan %v",
-				st.Node, st.Rail, st.TxBusy, st.RxBusy, makespan))
+	for _, nd := range w.nodes {
+		for r, a := range nd.hcas {
+			tx, rx := a.tx.BusyTime(), a.rx.BusyTime()
+			if tx > makespan || rx > makespan {
+				owned := ""
+				if o := a.tx.LastOwner(); o != "" {
+					owned = " (last acquired by " + o + ")"
+				} else if o := a.rx.LastOwner(); o != "" {
+					owned = " (last acquired by " + o + ")"
+				}
+				bad = append(bad, fmt.Sprintf("node %d rail %d: busy tx=%v rx=%v exceeds makespan %v%s",
+					nd.id, r, tx, rx, makespan, owned))
+			}
 		}
 	}
 	if len(bad) == 0 {
 		return nil
 	}
 	return fmt.Errorf("mpi: teardown violations: %s", strings.Join(bad, "; "))
+}
+
+// leakByOwner renders leaked mailbox messages grouped by the owner label
+// of their communicator, e.g. " (job2: 3, unowned: 1)". It returns "" when
+// no message belongs to a labeled comm, keeping single-tenant reports
+// unchanged.
+func (w *World) leakByOwner(items []interface{}) string {
+	counts := map[string]int{}
+	var order []string
+	any := false
+	for _, v := range items {
+		m, ok := v.(*message)
+		if !ok {
+			continue
+		}
+		label := "unowned"
+		if m.comm >= 0 && m.comm < len(w.comms) {
+			if o := w.comms[m.comm].owner; o != "" {
+				label, any = o, true
+			}
+		}
+		if counts[label] == 0 {
+			order = append(order, label)
+		}
+		counts[label]++
+	}
+	if !any {
+		return ""
+	}
+	parts := make([]string, len(order))
+	for i, label := range order {
+		parts[i] = fmt.Sprintf("%s: %d", label, counts[label])
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
 }

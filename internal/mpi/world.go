@@ -199,6 +199,25 @@ func New(cfg Config) *World {
 		w.nodeComms = append(w.nodeComms, w.newComm(cfg.Topo.NodeRanks(n)))
 	}
 	w.leaders = w.newComm(cfg.Topo.Leaders())
+	// Leaked-message attribution: when the teardown audit finds an
+	// unclaimed mailbox item, render it in MPI terms — source, destination,
+	// tag, and the owning communicator's job label if one was set. The
+	// describer runs post-run only (no concurrent comm mutation), so the
+	// direct field reads are safe.
+	eng.SetItemDescriber(func(v interface{}) string {
+		m, ok := v.(*message)
+		if !ok {
+			return fmt.Sprintf("%v", v)
+		}
+		label := ""
+		if m.comm >= 0 && m.comm < len(w.comms) {
+			if o := w.comms[m.comm].owner; o != "" {
+				label = " owner=" + o
+			}
+		}
+		return fmt.Sprintf("msg(src=%d dst=%d tag=%d bytes=%d sent=%v%s)",
+			m.src, m.dst, m.tag, m.data.Len(), m.sentAt, label)
+	})
 	if s := cfg.Topo.NumaSockets(); s > 1 {
 		w.socketComms = make([][]*Comm, cfg.Topo.Nodes)
 		for n := 0; n < cfg.Topo.Nodes; n++ {
@@ -282,6 +301,11 @@ type Proc struct {
 
 // Rank returns this process's world rank.
 func (p *Proc) Rank() int { return p.rs.rank }
+
+// Sim exposes the underlying simulated process, so schedulers layered on
+// the runtime (internal/cluster) can block a rank on engine primitives —
+// e.g. a control mailbox — between collective assignments.
+func (p *Proc) Sim() *sim.Proc { return p.sp }
 
 // Size returns the world size.
 func (p *Proc) Size() int { return p.w.topo.Size() }

@@ -20,6 +20,18 @@ func (e *Engine) SetClockWatcher(fn ClockWatcher) {
 	e.watcher = fn
 }
 
+// SetItemDescriber installs fn as the renderer CheckQuiescent uses to
+// describe leaked mailbox items (nil restores the anonymous count-only
+// report). A layer that knows its payload types — e.g. the MPI runtime,
+// whose mailboxes carry messages tagged with an owning communicator —
+// installs a describer so a leak under concurrent jobs names the job that
+// sent it instead of reporting an undifferentiated count.
+func (e *Engine) SetItemDescriber(fn func(interface{}) string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.describe = fn
+}
+
 // CheckQuiescent audits the engine after Run has returned and reports every
 // violated teardown invariant:
 //
@@ -50,18 +62,32 @@ func (e *Engine) CheckQuiescent() error {
 		bad = append(bad, fmt.Sprintf("%d events still pending at t=%v", n, e.now))
 	}
 	for _, r := range e.resources {
+		owned := ""
+		if r.lastOwner != "" {
+			owned = fmt.Sprintf(" (last acquired by %s)", r.lastOwner)
+		}
 		if r.freeAt > e.now {
-			bad = append(bad, fmt.Sprintf("resource %s busy until %v, past end of run %v",
-				r.name, r.freeAt, e.now))
+			bad = append(bad, fmt.Sprintf("resource %s busy until %v, past end of run %v%s",
+				r.name, r.freeAt, e.now, owned))
 		}
 		if r.busy < 0 || Time(r.busy) > e.now {
-			bad = append(bad, fmt.Sprintf("resource %s busy time %v exceeds makespan %v",
-				r.name, r.busy, e.now))
+			bad = append(bad, fmt.Sprintf("resource %s busy time %v exceeds makespan %v%s",
+				r.name, r.busy, e.now, owned))
 		}
 	}
 	for _, m := range e.mailboxes {
 		if n := len(m.items); n > 0 {
-			bad = append(bad, fmt.Sprintf("mailbox %s holds %d unclaimed messages", m.name, n))
+			line := fmt.Sprintf("mailbox %s holds %d unclaimed messages", m.name, n)
+			if m.owner != "" {
+				line += fmt.Sprintf(" (owner %s)", m.owner)
+			}
+			if e.describe != nil {
+				line += ": " + e.describe(m.items[0].v)
+				if n > 1 {
+					line += ", ..."
+				}
+			}
+			bad = append(bad, line)
 		}
 	}
 	if len(bad) == 0 {

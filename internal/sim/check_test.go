@@ -93,3 +93,60 @@ func TestClockWatcherObservesMonotoneAdvances(t *testing.T) {
 		t.Fatalf("last observed advance ends at %v, engine at %v", last, e.Stats().Now)
 	}
 }
+
+// TestCheckQuiescentMailboxAttribution: a leaked mailbox report names the
+// mailbox's owner and, when a describer is installed, renders the first
+// unclaimed item so a multi-tenant leak is attributable to a job.
+func TestCheckQuiescentMailboxAttribution(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("ctl.3")
+	m.SetOwner("cluster-scheduler")
+	e.SetItemDescriber(func(v interface{}) string { return "cmd=" + v.(string) })
+	e.Spawn("leaker", func(p *Proc) {
+		m.PutAt(p.Now(), "assign")
+		m.PutAt(p.Now(), "stop")
+		p.Sleep(Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.CheckQuiescent()
+	if err == nil {
+		t.Fatal("leak not flagged")
+	}
+	for _, want := range []string{"(owner cluster-scheduler)", "cmd=assign", ", ..."} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("audit %q missing %q", err, want)
+		}
+	}
+	if got := m.PendingItems(); len(got) != 2 || got[0] != "assign" || got[1] != "stop" {
+		t.Fatalf("PendingItems = %v, want [assign stop]", got)
+	}
+}
+
+// TestCheckQuiescentResourceAttribution: a rail left busy past the end of
+// the run is blamed on the party that last acquired it.
+func TestCheckQuiescentResourceAttribution(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("node1.rail0.tx")
+	e.Spawn("p", func(p *Proc) {
+		r.Acquire(10 * Microsecond)
+		r.MarkOwner("job3")
+		// Exit without waiting out the occupation: the rail stays busy
+		// past the end of the run.
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.CheckQuiescent()
+	if err == nil || !strings.Contains(err.Error(), "(last acquired by job3)") {
+		t.Fatalf("busy rail not attributed: %v", err)
+	}
+	if r.LastOwner() != "job3" {
+		t.Fatalf("LastOwner = %q, want job3", r.LastOwner())
+	}
+	r.MarkOwner("") // empty labels are ignored, not erased
+	if r.LastOwner() != "job3" {
+		t.Fatalf("empty MarkOwner overwrote label: %q", r.LastOwner())
+	}
+}

@@ -10,6 +10,7 @@ import "fmt"
 type Mailbox struct {
 	eng     *Engine
 	name    string
+	owner   string // attribution label for teardown audits ("" = unowned)
 	items   []mailItem
 	waiters []*mailWaiter
 	arrived int64 // total items ever deposited
@@ -116,6 +117,34 @@ func (m *Mailbox) Pending() int {
 	m.eng.mu.Lock()
 	defer m.eng.mu.Unlock()
 	return len(m.items)
+}
+
+// PendingItems returns the delivered-but-unclaimed items in arrival order.
+// Teardown audits use it to attribute leaked messages to their senders.
+func (m *Mailbox) PendingItems() []interface{} {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	out := make([]interface{}, len(m.items))
+	for i, it := range m.items {
+		out[i] = it.v
+	}
+	return out
+}
+
+// SetOwner labels the mailbox with the party responsible for draining it
+// (a rank, a job, a scheduler). Quiescence audits report the label when
+// the mailbox leaks, so concurrent owners stay distinguishable.
+func (m *Mailbox) SetOwner(label string) {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	m.owner = label
+}
+
+// Owner returns the attribution label set with SetOwner ("" = unowned).
+func (m *Mailbox) Owner() string {
+	m.eng.mu.Lock()
+	defer m.eng.mu.Unlock()
+	return m.owner
 }
 
 // Arrived reports the total number of items ever delivered.

@@ -10,12 +10,13 @@ import "fmt"
 // acquisitions always arrive with non-decreasing request times, which makes
 // the single freeAt register an exact FIFO queue model.
 type Resource struct {
-	eng    *Engine
-	name   string
-	freeAt Time
-	busy   Duration // total occupied time, for utilization reporting
-	uses   int64
-	rate   RateFunc // nil: full speed forever
+	eng       *Engine
+	name      string
+	freeAt    Time
+	busy      Duration // total occupied time, for utilization reporting
+	uses      int64
+	rate      RateFunc // nil: full speed forever
+	lastOwner string   // who acquired it last ("" = never attributed)
 }
 
 // NewResource creates a named resource bound to the engine.
@@ -198,6 +199,26 @@ func AcquireHetero(ds []Duration, rs ...*Resource) (start, end Time) {
 		}
 	}
 	return start, end
+}
+
+// MarkOwner records who is responsible for the resource's most recent
+// acquisition. With several jobs contending for one rail, the quiescence
+// audit uses the label to attribute a still-busy resource to a job
+// instead of reporting an anonymous leak. An empty label is ignored.
+func (r *Resource) MarkOwner(label string) {
+	if label == "" {
+		return
+	}
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	r.lastOwner = label
+}
+
+// LastOwner returns the most recent MarkOwner label ("" = never marked).
+func (r *Resource) LastOwner() string {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	return r.lastOwner
 }
 
 // FreeAt reports when the resource next becomes idle.

@@ -120,10 +120,12 @@ type Engine struct {
 	fired    int64 // events executed, for Stats
 
 	// Verification hooks (see check.go): every resource and mailbox ever
-	// created on the engine, and an optional observer of clock advances.
+	// created on the engine, an optional observer of clock advances, and
+	// an optional renderer for leaked mailbox items.
 	resources []*Resource
 	mailboxes []*Mailbox
 	watcher   ClockWatcher
+	describe  func(interface{}) string
 }
 
 // NewEngine returns an empty simulation.

@@ -26,6 +26,7 @@ const (
 	CatWait    Category = "wait"    // waiting on a request or counter
 	CatPhase   Category = "phase"   // algorithm phase marker
 	CatFault   Category = "fault"   // rail fault window / failover decision
+	CatJob     Category = "job"     // multi-tenant job admission / completion
 )
 
 // Event is one timed interval on some rank's timeline.
@@ -110,6 +111,7 @@ var glyphs = map[Category]byte{
 	CatWait:    '.',
 	CatPhase:   '|',
 	CatFault:   'X',
+	CatJob:     'J',
 }
 
 // Timeline renders the recorded events as an ASCII Gantt chart with one
@@ -165,7 +167,7 @@ func (r *Recorder) Timeline(width int) string {
 	for rank, lane := range lanes {
 		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, lane)
 	}
-	b.WriteString("legend: S=send R=recv H=HCA transfer I=shm copy-in O=shm copy-out C=compute X=fault .=wait\n")
+	b.WriteString("legend: S=send R=recv H=HCA transfer I=shm copy-in O=shm copy-out C=compute X=fault J=job .=wait\n")
 	return b.String()
 }
 

@@ -1,0 +1,18 @@
+package verify
+
+import "mha/internal/cluster"
+
+// The cluster-contended family runs the world allgather the way the
+// multi-tenant scheduler runs jobs: contiguous rank groups execute
+// overlapping sub-communicator allgathers (contending for rails and
+// memory like co-scheduled tenants), leaders exchange windows, and each
+// group broadcasts the assembled result. Registering it here puts the
+// concurrent-communicator paths — runtime comm creation, per-comm
+// epochs, interleaved rail traffic, teardown audits with multiple owners
+// — under the full randomized campaign: byte-correctness against the
+// oracle and trace-hash determinism, across layouts, NUMA shapes,
+// jitter, and rail-fault schedules.
+func init() {
+	Register(Algorithm{Name: "cluster-contended-2", Run: cluster.Contended(2)})
+	Register(Algorithm{Name: "cluster-contended-4", Run: cluster.Contended(4)})
+}

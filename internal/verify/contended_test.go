@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"testing"
+)
+
+// TestContendedRegistered: the multi-tenant scenario family is in the
+// campaign's variant pool.
+func TestContendedRegistered(t *testing.T) {
+	for _, name := range []string{"cluster-contended-2", "cluster-contended-4"} {
+		a, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if a.BlockOnly || a.SingleNode || a.EvenPPN {
+			t.Fatalf("%s should carry no topology constraints: %+v", name, a)
+		}
+	}
+}
+
+// TestContendedScenarios drives the family through Check (two runs each:
+// oracle, teardown audit, determinism cross-check) on shapes where the
+// groups genuinely overlap — including under a rail fault, with jitter,
+// at awkward sizes, and where group sizes are unequal.
+func TestContendedScenarios(t *testing.T) {
+	specs := []string{
+		"alg=cluster-contended-2 nodes=2 ppn=2 hcas=2 msg=4096",
+		"alg=cluster-contended-2 nodes=4 ppn=4 hcas=2 msg=65536",
+		"alg=cluster-contended-4 nodes=4 ppn=4 hcas=2 msg=16384",
+		"alg=cluster-contended-4 nodes=3 ppn=3 hcas=2 msg=257", // unequal groups, odd bytes
+		"alg=cluster-contended-4 nodes=2 ppn=2 hcas=2 msg=0",   // more groups than... exactly size
+		"alg=cluster-contended-2 nodes=2 ppn=4 hcas=2 layout=cyclic msg=1024",
+		"alg=cluster-contended-2 nodes=2 ppn=4 hcas=2 msg=8192 jitter=0.05 seed=7",
+		"alg=cluster-contended-2 nodes=4 ppn=2 hcas=2 msg=65536 " +
+			"faults=down node=0 rail=1 until=80us; degrade node=2 rail=0 frac=0.5",
+		"alg=cluster-contended-4 nodes=4 ppn=2 hcas=2 msg=32768 blind=1 " +
+			"faults=down node=1 rail=0 until=60us",
+	}
+	for _, spec := range specs {
+		sc, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		if vs := Check(sc); len(vs) > 0 {
+			t.Errorf("%s failed:", spec)
+			for _, v := range vs {
+				t.Errorf("  %s", v)
+			}
+		}
+	}
+}

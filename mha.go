@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mha/internal/cluster"
 	"mha/internal/collectives"
 	"mha/internal/core"
 	"mha/internal/faults"
@@ -75,6 +76,13 @@ type (
 	InterConfig = core.InterConfig
 	// OffloadPoint is one sample of the offload tuning curve (Figure 5).
 	OffloadPoint = core.OffloadPoint
+)
+
+// Virtual-time units for Duration and Time values.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
 )
 
 // NewCluster returns a block-layout cluster of nodes x ppn with hcas
@@ -374,4 +382,52 @@ func VerifyCampaign(n int, seed int64) error {
 		fmt.Fprintf(&b, "\n  %s", f.Shrunk.Spec())
 	}
 	return fmt.Errorf("%s", b.String())
+}
+
+// Multi-tenant cluster scheduling: a stream of collective jobs admitted
+// onto ONE shared fabric, running concurrently in virtual time and
+// contending for HCA rails and memory buses (see cmd/mhacluster and
+// DESIGN.md section 9).
+type (
+	// ClusterJob is one collective job in a scheduler workload: which
+	// collective, how many ranks, how many bytes, when it arrives, and
+	// its priority under the priority queue.
+	ClusterJob = cluster.JobSpec
+	// ClusterConfig configures a scheduler run: topology, placement
+	// policy (ClusterPacked, ClusterSpread, ClusterRailAware), admission
+	// queue, backpressure, payload checking, faults.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates per-job metrics (queue wait, makespan,
+	// slowdown vs isolated, rail share) and the cluster-wide summary.
+	ClusterResult = cluster.Result
+	// ClusterJobMetrics is one job's scheduling outcome.
+	ClusterJobMetrics = cluster.JobMetrics
+)
+
+// Placement policies of the multi-tenant scheduler.
+const (
+	// ClusterPacked fills the lowest-numbered free ranks (fragmenting
+	// jobs across shared nodes under load).
+	ClusterPacked = cluster.Packed
+	// ClusterSpread balances ranks across nodes by free-slot count.
+	ClusterSpread = cluster.Spread
+	// ClusterRailAware prefers nodes with no co-tenant jobs, the most
+	// healthy rails, and the least rail backlog — the policy that keeps
+	// tenants off each other's rails.
+	ClusterRailAware = cluster.RailAware
+)
+
+// RunCluster admits jobs onto one shared simulated fabric and runs them
+// to completion under cfg's policy, returning per-job and aggregate
+// metrics. The run is deterministic: identical inputs give identical
+// schedules, metrics, and (with a Tracer) trace hashes.
+func RunCluster(cfg ClusterConfig, jobs []ClusterJob) (*ClusterResult, error) {
+	return cluster.Run(cfg, jobs)
+}
+
+// ClusterRandomJobs draws a seeded, deterministic workload of n collective
+// jobs (mixed allgather/allreduce/bcast, varied sizes and rank counts)
+// with arrivals spread over the horizon.
+func ClusterRandomJobs(seed int64, n int, topo Cluster, horizon Duration) []ClusterJob {
+	return cluster.RandomJobs(seed, n, topo, horizon)
 }

@@ -278,3 +278,26 @@ func TestPublicIAllgatherAndMachines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicClusterScheduler(t *testing.T) {
+	topo := mha.NewCluster(4, 4, 2)
+	jobs := mha.ClusterRandomJobs(42, 6, topo, 300*mha.Microsecond)
+	res, err := mha.RunCluster(mha.ClusterConfig{
+		Topo: topo, Policy: mha.ClusterRailAware, Payload: true,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("byte-check failures: %v", res.Errors)
+	}
+	if len(res.Jobs) != len(jobs) || res.Makespan <= 0 {
+		t.Fatalf("metrics incomplete: %d jobs, makespan %v", len(res.Jobs), res.Makespan)
+	}
+	for _, policy := range []string{mha.ClusterPacked, mha.ClusterSpread, mha.ClusterRailAware} {
+		if _, err := mha.RunCluster(mha.ClusterConfig{Topo: topo, Policy: policy,
+			SkipIsolated: true}, jobs); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
