@@ -1,0 +1,71 @@
+// Command mhalint runs the project's static-analysis suite: stdlib-only
+// passes that enforce the simulator's determinism and resource-discipline
+// contracts at build time (see internal/lint and DESIGN.md §10).
+//
+// Usage:
+//
+//	mhalint [-list] [-pass name[,name...]] [packages]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 findings, 2 usage
+// or load error. Findings can be suppressed per line with
+// `//lint:ignore <pass> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mha/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered passes and exit")
+	passFlag := flag.String("pass", "", "comma-separated subset of passes to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes := lint.Passes()
+	if *passFlag != "" {
+		byName := map[string]*lint.Pass{}
+		for _, p := range passes {
+			byName[p.Name] = p
+		}
+		passes = passes[:0]
+		for _, name := range strings.Split(*passFlag, ",") {
+			p, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mhalint: unknown pass %q (have %s)\n",
+					name, strings.Join(lint.PassNames(), ", "))
+				os.Exit(2)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mhalint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Check(units, passes)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mhalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("mhalint: %d packages, %d passes, no findings\n", len(units), len(passes))
+}

@@ -268,6 +268,35 @@ func TestSmokeMhacluster(t *testing.T) {
 	}
 }
 
+func TestSmokeMhalint(t *testing.T) {
+	out := run(t, "mhalint", "-list")
+	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim"} {
+		if !strings.Contains(out, pass) {
+			t.Fatalf("-list missing pass %s:\n%s", pass, out)
+		}
+	}
+	out = run(t, "mhalint", "./...")
+	if !strings.Contains(out, "no findings") {
+		t.Fatalf("tree should lint clean:\n%s", out)
+	}
+}
+
+func TestSmokeMhalintFlagsFixtures(t *testing.T) {
+	// Every pass must exit non-zero on its own firing fixture, naming
+	// itself in the diagnostics.
+	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim"} {
+		cmd := exec.Command(filepath.Join(binaries(t), "mhalint"),
+			"./internal/lint/testdata/src/"+pass)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s fixture lints clean:\n%s", pass, out)
+		}
+		if !strings.Contains(string(out), pass+":") {
+			t.Fatalf("%s fixture diagnostics unexpected:\n%s", pass, out)
+		}
+	}
+}
+
 func TestSmokeMhaclusterRejectsBadPolicy(t *testing.T) {
 	cmd := exec.Command(filepath.Join(binaries(t), "mhacluster"), "run", "-policy", "best-fit")
 	out, err := cmd.CombinedOutput()

@@ -284,10 +284,11 @@ func MHAAlltoall(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
 			reqs = append(reqs, p.Irecv(lc, srcN, mpi.Tag(epoch, phaseMA2A, s)))
 			order = append(order, srcN)
 		}
+		sends := make([]*mpi.Request, 0, N-1)
 		for s := 1; s < N; s++ {
 			dstN := (node + s) % N
 			blk := out.Region(dstN*pair, pair)
-			p.Isend(lc, dstN, mpi.Tag(epoch, phaseMA2A, s), blk)
+			sends = append(sends, p.Isend(lc, dstN, mpi.Tag(epoch, phaseMA2A, s), blk))
 		}
 		for i, rq := range reqs {
 			got := p.Wait(rq)
@@ -302,6 +303,10 @@ func MHAAlltoall(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
 			}
 			p.ChargeCopy(L * m)
 		}
+		// Drain the send requests so the leader observes its transfers
+		// complete before leaving the epoch (waitpair contract; by now
+		// every peer has received, so these waits are effectively free).
+		p.Waitall(sends...)
 		return
 	}
 

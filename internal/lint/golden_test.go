@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the pass golden files")
+
+// TestPassGoldens pins the exact diagnostics every pass emits on its
+// fixture package (testdata/src/<pass>), one golden file per pass,
+// matching the bench golden convention: re-record deliberately with
+//
+//	go test ./internal/lint -run TestPassGoldens -update
+//
+// Each fixture pairs firing files (fire.go, bad.go) with a non-firing
+// ok.go, so the golden proves both that violations are caught and that
+// the blessed patterns stay silent.
+func TestPassGoldens(t *testing.T) {
+	for _, pass := range Passes() {
+		pass := pass
+		t.Run(pass.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", pass.Name)
+			units, err := Load([]string{dir})
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", dir, err)
+			}
+			diags := Check(units, []*Pass{pass})
+			var buf bytes.Buffer
+			for _, d := range diags {
+				rel, err := filepath.Rel(dir, d.Pos.Filename)
+				if err != nil {
+					rel = d.Pos.Filename
+				}
+				fmt.Fprintf(&buf, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+				if strings.HasPrefix(rel, "ok.go") {
+					t.Errorf("non-firing fixture ok.go produced a diagnostic: %s", d)
+				}
+			}
+			if buf.Len() == 0 {
+				t.Errorf("pass %s produced no diagnostics on its firing fixture", pass.Name)
+			}
+			path := filepath.Join("testdata", "golden", pass.Name+".golden")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden for %s (record with -update): %v", pass.Name, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("pass %s diagnostics drifted from golden:\n--- golden ---\n%s--- got ---\n%s",
+					pass.Name, want, buf.Bytes())
+			}
+		})
+	}
+}

@@ -1,0 +1,224 @@
+// Package lint implements mhalint, a stdlib-only static-analysis suite
+// that proves the simulator's determinism and resource-discipline rules
+// at build time (go/ast + go/parser + go/types; no external modules).
+//
+// The runtime audits — CheckQuiescent, VerifyTeardown, the verification
+// campaign's trace-hash cross-check — catch invariant violations only on
+// the scenarios a run happens to execute. The passes here encode the same
+// contracts as compile-time rules over the whole tree:
+//
+//	detnow    no wall-clock or process-global randomness in sim code
+//	maporder  no map iteration with order-dependent effects
+//	waitpair  every Isend/Irecv result reaches a Wait/Waitall
+//	railpin   rail pinning comes from planning, not hardwired constants
+//	gonosim   no raw goroutines where the engine must own scheduling
+//
+// A finding can be silenced for one line with
+//
+//	//lint:ignore <pass> <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// A Unit is one loaded, type-checked package ready for analysis.
+type Unit struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. mha/internal/sim
+	Dir   string // directory the files were parsed from
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
+// A Pass is one analysis. Scope selects the packages it applies to by
+// import path; every pass additionally applies to its own fixture package
+// under internal/lint/testdata/src/<name>.
+type Pass struct {
+	Name  string
+	Doc   string
+	Scope func(path string) bool
+	Run   func(u *Unit) []Diagnostic
+}
+
+// Passes returns every registered analysis in reporting order.
+func Passes() []*Pass {
+	return []*Pass{detnowPass, maporderPass, waitpairPass, railpinPass, gonosimPass}
+}
+
+// PassNames returns the registered pass names in reporting order.
+func PassNames() []string {
+	out := make([]string, 0, 8)
+	for _, p := range Passes() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// applies reports whether pass p checks the package at import path.
+func applies(p *Pass, path string) bool {
+	if strings.HasSuffix(path, "/lint/testdata/src/"+p.Name) {
+		return true
+	}
+	return p.Scope(path)
+}
+
+// Check runs the given passes over the units and returns the surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// malformed or unknown //lint:ignore directives are reported under the
+// pseudo-pass "lint".
+func Check(units []*Unit, passes []*Pass) []Diagnostic {
+	known := map[string]bool{}
+	for _, p := range Passes() {
+		known[p.Name] = true
+	}
+	var out []Diagnostic
+	for _, u := range units {
+		igs, bad := collectIgnores(u, known)
+		out = append(out, bad...)
+		for _, p := range passes {
+			if !applies(p, u.Path) {
+				continue
+			}
+			for _, d := range p.Run(u) {
+				if igs.covers(p.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+// ignoreSet records which (file, line) positions are covered by a valid
+// //lint:ignore directive, per pass.
+type ignoreSet map[string]map[int]map[string]bool // file -> line -> pass
+
+// covers reports whether a finding for pass at pos is suppressed: a
+// directive counts for its own line and the line immediately below it.
+func (s ignoreSet) covers(pass string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][pass] || lines[pos.Line-1][pass]
+}
+
+func (s ignoreSet) add(file string, line int, pass string) {
+	lines := s[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	passes := lines[line]
+	if passes == nil {
+		passes = map[string]bool{}
+		lines[line] = passes
+	}
+	passes[pass] = true
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectIgnores scans every comment in the unit for //lint:ignore
+// directives. Valid directives populate the returned set; a directive
+// with no reason, or naming a pass that does not exist, is reported.
+func collectIgnores(u *Unit, known map[string]bool) (ignoreSet, []Diagnostic) {
+	igs := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Pass: "lint",
+						Message: "//lint:ignore needs a pass name and a non-empty reason: " +
+							"//lint:ignore <pass> <why this is safe>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Pass:    "lint",
+							Message: fmt.Sprintf("//lint:ignore names unknown pass %q (have %s)", name, strings.Join(PassNames(), ", ")),
+						})
+						continue
+					}
+					igs.add(pos.Filename, pos.Line, name)
+				}
+			}
+		}
+	}
+	return igs, bad
+}
+
+// scopeIn builds a Scope matching any import path ending in one of the
+// given package suffixes (e.g. "internal/sim").
+func scopeIn(segs ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range segs {
+			if strings.HasSuffix(path, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// scopeInternal matches every package under internal/ except the lint
+// suite itself (whose bookkeeping legitimately walks maps and has no sim
+// side effects).
+func scopeInternal(path string) bool {
+	if !strings.Contains(path, "/internal/") {
+		return false
+	}
+	return !strings.Contains(path, "/internal/lint")
+}
+
+// diag builds a Diagnostic at a node's position.
+func diag(u *Unit, n ast.Node, pass, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{Pos: u.Fset.Position(n.Pos()), Pass: pass, Message: fmt.Sprintf(format, args...)}
+}

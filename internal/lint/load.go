@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks every package named by the patterns and
+// returns one Unit per package. A pattern is either a directory or a
+// `dir/...` walk; walks skip testdata, hidden, and underscore
+// directories (matching the go tool), while naming a testdata directory
+// explicitly loads it — that is how the fixture suite feeds the driver.
+// Test files are never loaded: the invariants govern shipped simulator
+// code, and tests legitimately use wall-clock timeouts and literals.
+func Load(patterns []string) ([]*Unit, error) {
+	dirs, err := expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks dependencies (stdlib included) from
+	// source, so the loader needs nothing but the go/* stdlib packages.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Path < units[j].Path })
+	return units, nil
+}
+
+// expand resolves `/...` patterns into the list of directories that
+// contain at least one non-test Go file.
+func expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, walk := strings.CutSuffix(pat, "/...")
+		if !walk {
+			if hasGoFiles(pat) {
+				add(pat)
+				continue
+			}
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if name := e.Name(); !e.IsDir() &&
+			strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses the non-test files of one directory and type-checks
+// them as a package rooted at its module-derived import path.
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) ([]*Unit, error) {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)
+	}
+	path, err := importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	// A directory holds at most one non-test package in a healthy tree,
+	// but check whatever the parser found so a stray duplicate package
+	// clause surfaces as a type error rather than silence.
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		apkg := pkgs[name]
+		files := make([]*ast.File, 0, len(apkg.Files))
+		fnames := make([]string, 0, len(apkg.Files))
+		for fname := range apkg.Files {
+			fnames = append(fnames, fname)
+		}
+		sort.Strings(fnames)
+		for _, fname := range fnames {
+			files = append(files, apkg.Files[fname])
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+		}
+		units = append(units, &Unit{
+			Fset: fset, Path: path, Dir: dir, Files: files, Info: info, Pkg: tpkg,
+		})
+	}
+	return units, nil
+}
+
+// importPath derives a directory's import path from the enclosing
+// module's go.mod.
+func importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			mod := modulePath(data)
+			if mod == "" {
+				return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				return "", err
+			}
+			if rel == "." {
+				return mod, nil
+			}
+			return mod + "/" + filepath.ToSlash(rel), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return "", fmt.Errorf("lint: %s is not inside a Go module", dir)
+		}
+		root = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporder flags `for range` over a map whose body has order-dependent
+// effects: Go randomizes map iteration order per run, so any message,
+// scheduled event, trace record, or schedule/step list built inside such
+// a loop differs between replays. Order-insensitive folds (max, sum,
+// membership) are fine, as is collecting keys that are sorted before
+// use — the canonical fix.
+var maporderPass = &Pass{
+	Name:  "maporder",
+	Doc:   "flag map iteration whose body sends, schedules, traces, or appends to an ordered list",
+	Scope: scopeInternal,
+	Run:   runMaporder,
+}
+
+// maporderEffects names the methods whose call order is observable in a
+// simulation: message posts, mailbox and event-queue operations, process
+// spawns, resource seizures, and trace records.
+var maporderEffects = map[string]string{
+	"Isend": "posts a message", "Irecv": "posts a receive",
+	"Send": "posts a message", "Recv": "posts a receive",
+	"SendRecv": "posts messages",
+	"Put":      "enqueues into a mailbox", "PutAt": "enqueues into a mailbox",
+	"Get":      "matches from a mailbox",
+	"Schedule": "schedules an event", "After": "schedules an event",
+	"Spawn":   "spawns a process",
+	"Acquire": "seizes a resource", "AcquireAfter": "seizes a resource",
+	"AcquireTogether": "seizes resources",
+	"Add":             "bumps a counter/trace",
+	"trace":           "records a trace event", "Emit": "records a trace event",
+}
+
+func runMaporder(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		// Walk with an explicit stack of enclosing function bodies so the
+		// append-then-sort excuse can scan the rest of the function.
+		var bodies []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+					ast.Inspect(n.Body, walk)
+					bodies = bodies[:len(bodies)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, walk)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.RangeStmt:
+				tv, ok := u.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				var enclosing *ast.BlockStmt
+				if len(bodies) > 0 {
+					enclosing = bodies[len(bodies)-1]
+				}
+				if why := mapBodyEffect(u, n, enclosing); why != "" {
+					out = append(out, diag(u, n, "maporder",
+						"map iteration order is randomized per run, but this loop %s; iterate a sorted key slice instead", why))
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}
+
+// mapBodyEffect reports the first order-dependent effect in a map-range
+// body, or "" when the body is order-insensitive.
+func mapBodyEffect(u *Unit, rng *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	var why string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "sends on a channel"
+		case *ast.CallExpr:
+			if id := calleeIdent(n); id != nil {
+				if what, ok := maporderEffects[id.Name]; ok {
+					why = "calls " + id.Name + " (" + what + ")"
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) growing a variable that outlives the
+			// loop builds an ordered list in map order — unless that
+			// list is sorted before the function is done with it.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Appending into a field or element of an outer
+					// structure: no sort excuse, flag it.
+					why = "appends to an ordered list"
+					continue
+				}
+				obj := u.Info.ObjectOf(target)
+				if obj == nil || insideNode(obj.Pos(), rng) {
+					continue // loop-local scratch
+				}
+				if fnBody != nil && sortedAfter(u, fnBody, rng.End(), obj) {
+					continue // collected keys are sorted before use
+				}
+				why = "appends to " + target.Name + " (ordered list, never sorted afterwards)"
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// insideNode reports whether pos falls within n's source extent.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after pos within the function body.
+func sortedAfter(u *Unit, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := u.Info.Uses[base].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && u.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeIdent returns the rightmost identifier of a call's function
+// expression: F for F(...), recv.F for recv.F(...). Nil when the callee
+// is not a plain or selected identifier.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// railpin rejects rail pinning with compile-time constants. A hardwired
+// ViaRail(1) encodes an assumption about adapter count and health that
+// the rail-health registry exists to own: pinned rails must be computed
+// (PlanRails, a schedule's planned Rail field, a round-robin index), so
+// that failover and re-weighted striping stay in charge of placement.
+var railpinPass = &Pass{
+	Name:  "railpin",
+	Doc:   "rail pins must come from PlanRails/health-aware planning, not integer literals",
+	Scope: scopeInternal,
+	Run:   runRailpin,
+}
+
+func runRailpin(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call)
+			if id == nil || id.Name != "ViaRail" || len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := u.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil {
+				return true // computed rail: fine
+			}
+			out = append(out, diag(u, call, "railpin",
+				"rail hardwired to constant %s; derive it from PlanRails/health-aware planning so failover owns placement", tv.Value))
+			return true
+		})
+	}
+	return out
+}

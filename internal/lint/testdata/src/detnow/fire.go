@@ -1,0 +1,25 @@
+// Package detnow is the firing fixture for the detnow pass: wall-clock
+// reads and process-global randomness that would make a simulation
+// unreplayable.
+package detnow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// JitterBadly models per-message jitter from sources that differ on
+// every run.
+func JitterBadly() time.Duration {
+	start := time.Now()               // finding: wall clock
+	time.Sleep(50 * time.Microsecond) // finding: real sleep in sim code
+	if rand.Intn(2) == 0 {            // finding: global source
+		rand.Seed(42) // finding: reseeding the global source helps nothing
+	}
+	return time.Since(start) // finding: wall clock
+}
+
+// LateTimer leaks a real timer into virtual time.
+func LateTimer(fire func()) *time.Timer {
+	return time.AfterFunc(time.Millisecond, fire) // finding: wall-clock timer
+}

@@ -1,0 +1,19 @@
+package detnow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SeededDelay draws from an explicitly seeded local source: the same
+// seed replays the same sequence, so determinism survives.
+func SeededDelay(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+// Budget uses time only for constants and arithmetic — no clock reads.
+func Budget(n int) time.Duration {
+	var d time.Duration = time.Millisecond
+	return d * time.Duration(n)
+}

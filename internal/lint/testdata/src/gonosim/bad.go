@@ -1,0 +1,12 @@
+package gonosim
+
+// BadSuppressions exercises suppression hygiene: a directive without a
+// reason and one naming an unknown pass both get reported, and neither
+// silences the goroutine findings they sit above.
+func BadSuppressions(work func()) {
+	//lint:ignore gonosim
+	go work() // finding: directive above lacks a reason, so it does not apply
+
+	//lint:ignore gonosimm typo in the pass name
+	go work() // finding: directive names an unknown pass
+}

@@ -1,0 +1,12 @@
+// Package gonosim is the fixture for the gonosim pass: raw goroutines
+// in code the engine must schedule deterministically.
+package gonosim
+
+// RaceTheClock hands work to the Go scheduler, whose interleaving the
+// sim engine cannot order.
+func RaceTheClock(work func()) {
+	go work() // finding: raw goroutine
+	ch := make(chan int)
+	go func() { ch <- 1 }() // finding: raw goroutine literal
+	<-ch
+}

@@ -1,0 +1,20 @@
+package gonosim
+
+// engine mirrors the sim engine's spawn primitive.
+type engine struct{}
+
+func (e *engine) Spawn(name string, fn func()) { fn() }
+
+// SpawnWorkers routes all concurrency through the engine.
+func SpawnWorkers(e *engine, work func()) {
+	for i := 0; i < 3; i++ {
+		e.Spawn("worker", work)
+	}
+}
+
+// RunnerInternals shows a justified suppression: the reason is recorded
+// and the finding is silenced for this line only.
+func RunnerInternals(work func()) {
+	//lint:ignore gonosim fixture mirror of the engine's own serialized worker launch
+	go work()
+}

@@ -1,0 +1,34 @@
+// Package maporder is the firing fixture for the maporder pass: map
+// iteration whose body has order-dependent effects.
+package maporder
+
+type mailbox struct{}
+
+func (m *mailbox) Put(v int) {}
+
+type step struct{ dst int }
+
+// BuildSteps appends to the schedule in map order: the resulting step
+// list differs from run to run.
+func BuildSteps(peers map[int]*mailbox) []step {
+	var steps []step
+	for dst := range peers { // finding: appends to steps, never sorted
+		steps = append(steps, step{dst})
+	}
+	return steps
+}
+
+// NotifyAll posts messages in map order, so mailbox arrival order is
+// randomized.
+func NotifyAll(peers map[int]*mailbox) {
+	for _, mb := range peers { // finding: calls Put
+		mb.Put(1)
+	}
+}
+
+// FanOut sends on a channel in map order.
+func FanOut(peers map[int]int, ch chan int) {
+	for _, v := range peers { // finding: channel send
+		ch <- v
+	}
+}

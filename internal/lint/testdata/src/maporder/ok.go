@@ -1,0 +1,41 @@
+package maporder
+
+import "sort"
+
+// SortedSteps collects keys in map order but sorts them before building
+// the schedule — the canonical deterministic pattern.
+func SortedSteps(peers map[int]*mailbox) []step {
+	keys := make([]int, 0, len(peers))
+	for k := range peers {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	steps := make([]step, 0, len(keys))
+	for _, k := range keys {
+		steps = append(steps, step{k})
+	}
+	return steps
+}
+
+// MaxLoad is an order-insensitive fold: any iteration order yields the
+// same maximum.
+func MaxLoad(load map[int]int) int {
+	best := 0
+	for _, v := range load {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CountReady only inspects; nothing observable depends on order.
+func CountReady(ready map[int]bool) int {
+	n := 0
+	for _, ok := range ready {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package railpin is the fixture for the railpin pass: rail choices
+// hardwired at compile time instead of flowing from planning.
+package railpin
+
+type SendOption func()
+
+// ViaRail mirrors the mpi option the pass matches by name.
+func ViaRail(r int) SendOption { return func() {} }
+
+const fastRail = 1
+
+// PinnedLiteral hardwires rail 0 — wrong the moment the health registry
+// marks it down or the machine has a different adapter count.
+func PinnedLiteral() SendOption {
+	return ViaRail(0) // finding: literal rail
+}
+
+// PinnedConst is no better: the constant still bypasses planning.
+func PinnedConst() SendOption {
+	return ViaRail(fastRail) // finding: constant rail
+}
+
+// PinnedExpr folds constants and is still compile-time fixed.
+func PinnedExpr() SendOption {
+	return ViaRail(1 + 1) // finding: constant expression rail
+}

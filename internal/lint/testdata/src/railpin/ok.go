@@ -1,0 +1,21 @@
+package railpin
+
+// PlanRails mirrors the health registry's planning entry point.
+func PlanRails(node int) int { return 2 }
+
+// StripePlanned walks the planned rail count: every pin is computed, so
+// failover and re-weighting stay in charge.
+func StripePlanned(node int) []SendOption {
+	var opts []SendOption
+	for r := 0; r < PlanRails(node); r++ {
+		opts = append(opts, ViaRail(r))
+	}
+	return opts
+}
+
+// FromSchedule pins whatever the schedule's analyzer chose.
+type xfer struct{ Rail int }
+
+func FromSchedule(t xfer) SendOption {
+	return ViaRail(t.Rail)
+}

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// waitpair checks, function by function, that every request returned by
+// Isend/Irecv reaches a Wait/Waitall. It is the static mirror of the
+// teardown audit: VerifyTeardown catches a leaked receive only on the
+// scenarios a campaign happens to run, while this pass rejects the code
+// shape outright.
+//
+// The analysis is intraprocedural and flow-approximate:
+//
+//   - a request discarded at the call site (expression statement or
+//     assignment to _) is always reported;
+//   - a request bound to a local that is never passed to Wait/Waitall,
+//     never appended into a later-consumed slice, and never escapes
+//     (helper call, return, store into a structure) is reported;
+//   - a request whose only waits sit inside conditionals that do not
+//     dominate the post is reported as a may-leak, unless the guard
+//     mentions the request itself (the `if req != nil { Wait }` idiom).
+//
+// Escapes are trusted: a request handed to another function is that
+// function's responsibility, keeping the pass useful without a whole-
+// program analysis.
+var waitpairPass = &Pass{
+	Name:  "waitpair",
+	Doc:   "every Isend/Irecv result must reach a Wait/Waitall on all paths",
+	Scope: scopeInternal,
+	Run:   runWaitpair,
+}
+
+func runWaitpair(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &reqAnalysis{u: u, body: fd.Body, parents: buildParents(fd.Body)}
+			out = append(out, a.run()...)
+		}
+	}
+	return out
+}
+
+// buildParents maps every node under root to its syntactic parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+type reqAnalysis struct {
+	u       *Unit
+	body    *ast.BlockStmt
+	parents map[ast.Node]ast.Node
+}
+
+// use classification for one identifier occurrence of a tracked request.
+type useKind int
+
+const (
+	useInspect useKind = iota // read-only: comparison, field access
+	useWait                   // passed to Wait/Waitall
+	useEscape                 // passed to a helper, returned, or stored
+	useCarry                  // appended into a slice (consumed iff the slice is)
+)
+
+type use struct {
+	id      *ast.Ident
+	kind    useKind
+	carrier types.Object // for useCarry: the slice appended into
+}
+
+func (a *reqAnalysis) run() []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(a.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Isend" && name != "Irecv" {
+			return true
+		}
+		switch parent := a.parents[call].(type) {
+		case *ast.ExprStmt:
+			out = append(out, diag(a.u, call, "waitpair",
+				"result of %s is discarded; the request never reaches a Wait, so completion is unobserved", name))
+		case *ast.AssignStmt:
+			lhs := assignTarget(parent, call)
+			switch lhs := lhs.(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					out = append(out, diag(a.u, call, "waitpair",
+						"result of %s is assigned to _; the request never reaches a Wait", name))
+					break
+				}
+				obj := a.u.Info.ObjectOf(lhs)
+				if obj != nil {
+					if d, bad := a.checkProducer(obj, call, name); bad {
+						out = append(out, d)
+					}
+				}
+			default:
+				// Stored straight into a slice element, field, or map:
+				// the container owns it now; trust the consumer.
+			}
+		case *ast.ValueSpec:
+			for i, v := range parent.Values {
+				if v != ast.Expr(call) || i >= len(parent.Names) {
+					continue
+				}
+				if obj := a.u.Info.ObjectOf(parent.Names[i]); obj != nil {
+					if d, bad := a.checkProducer(obj, call, name); bad {
+						out = append(out, d)
+					}
+				}
+			}
+		default:
+			// Nested in another expression (Wait(p.Irecv(...)), append
+			// arg, composite literal, return value): it escapes into the
+			// surrounding expression, which takes responsibility.
+		}
+		return true
+	})
+	return out
+}
+
+// assignTarget returns the LHS expression matching call on the RHS of an
+// assignment, or nil.
+func assignTarget(as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
+	for i, rhs := range as.Rhs {
+		if rhs == ast.Expr(call) && i < len(as.Lhs) {
+			return as.Lhs[i]
+		}
+	}
+	return nil
+}
+
+// checkProducer inspects every use of obj after the producing call and
+// decides whether the request provably reaches a wait.
+func (a *reqAnalysis) checkProducer(obj types.Object, call *ast.CallExpr, name string) (Diagnostic, bool) {
+	uses := a.usesOf(obj, call.End())
+	definite, conditional := false, false
+	for _, us := range uses {
+		consumed := false
+		switch us.kind {
+		case useWait, useEscape:
+			consumed = true
+		case useCarry:
+			consumed = us.carrier != nil && a.carrierConsumed(us.carrier, us.id.End(), 0)
+		}
+		if !consumed {
+			continue
+		}
+		if a.conditionalBetween(call, us.id, obj) {
+			conditional = true
+		} else {
+			definite = true
+		}
+	}
+	switch {
+	case definite:
+		return Diagnostic{}, false
+	case conditional:
+		return diag(a.u, call, "waitpair",
+			"request from %s is waited only inside a conditional; a path can leave it un-waited (guard on the request itself, or wait unconditionally)", name), true
+	default:
+		return diag(a.u, call, "waitpair",
+			"request from %s is never passed to Wait/Waitall and never escapes this function", name), true
+	}
+}
+
+// usesOf collects every classified occurrence of obj after pos.
+func (a *reqAnalysis) usesOf(obj types.Object, pos token.Pos) []use {
+	var uses []use
+	ast.Inspect(a.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= pos || a.u.Info.ObjectOf(id) != obj {
+			return true
+		}
+		uses = append(uses, a.classify(id))
+		return true
+	})
+	return uses
+}
+
+// classify decides what one occurrence of a request variable does with
+// the value, walking outward through wrapping expressions.
+func (a *reqAnalysis) classify(id *ast.Ident) use {
+	var cur ast.Node = id
+	for {
+		parent := a.parents[cur]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = p // container indexed; what happens to the element?
+				continue
+			}
+			return use{id: id, kind: useInspect} // used as an index
+		case *ast.SelectorExpr:
+			return use{id: id, kind: useInspect} // field read/write
+		case *ast.CallExpr:
+			callee := calleeIdent(p)
+			if callee == nil {
+				return use{id: id, kind: useEscape}
+			}
+			switch callee.Name {
+			case "Wait", "Waitall":
+				return use{id: id, kind: useWait}
+			case "append":
+				if len(p.Args) > 0 && p.Args[0] == exprOf(cur) {
+					return use{id: id, kind: useInspect} // the slice being grown
+				}
+				return use{id: id, kind: useCarry, carrier: a.appendTarget(p)}
+			case "len", "cap":
+				return use{id: id, kind: useInspect}
+			default:
+				return use{id: id, kind: useEscape}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.UnaryExpr:
+			return use{id: id, kind: useEscape}
+		case *ast.RangeStmt:
+			if p.X == exprOf(cur) {
+				// Ranged over: for request slices this is the classic
+				// for-Wait loop; trust it.
+				return use{id: id, kind: useWait}
+			}
+			return use{id: id, kind: useInspect}
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs == exprOf(cur) {
+					if allBlank(p.Lhs) {
+						return use{id: id, kind: useInspect} // _ = v
+					}
+					return use{id: id, kind: useEscape} // aliased or stored
+				}
+			}
+			return use{id: id, kind: useInspect} // appears on the LHS
+		default:
+			return use{id: id, kind: useInspect}
+		}
+	}
+}
+
+// appendTarget resolves append's destination to an object when it is a
+// plain identifier (reqs = append(reqs, v)).
+func (a *reqAnalysis) appendTarget(call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return a.u.Info.ObjectOf(id)
+	}
+	return nil
+}
+
+// carrierConsumed reports whether a slice that received requests is
+// itself consumed (waited, ranged, passed on, or returned) after pos.
+func (a *reqAnalysis) carrierConsumed(obj types.Object, pos token.Pos, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	for _, us := range a.usesOf(obj, pos) {
+		switch us.kind {
+		case useWait, useEscape:
+			return true
+		case useCarry:
+			if us.carrier != nil && us.carrier != obj && a.carrierConsumed(us.carrier, us.id.End(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// conditionalBetween reports whether the path from a consuming use back
+// up to the common ancestor with the producer crosses a conditional or
+// loop boundary the producer is not inside — i.e. whether the wait can
+// be skipped while the post still happens. An if whose condition
+// mentions the request itself (req != nil) is treated as dominating.
+func (a *reqAnalysis) conditionalBetween(producer *ast.CallExpr, consumer *ast.Ident, obj types.Object) bool {
+	anc := map[ast.Node]bool{}
+	for n := ast.Node(producer); n != nil; n = a.parents[n] {
+		anc[n] = true
+	}
+	var child ast.Node = consumer
+	for n := a.parents[consumer]; n != nil; n = a.parents[n] {
+		if anc[n] {
+			return false // reached the common ancestor cleanly
+		}
+		switch p := n.(type) {
+		case *ast.IfStmt:
+			if (child == ast.Node(p.Body) || child == p.Else) && !mentions(a.u, p.Cond, obj) {
+				return true
+			}
+		case *ast.CaseClause, *ast.CommClause:
+			return true
+		case *ast.ForStmt:
+			if child == ast.Node(p.Body) {
+				return true // loop may run zero times
+			}
+		case *ast.RangeStmt:
+			if child == ast.Node(p.Body) {
+				return true
+			}
+		case *ast.FuncLit:
+			return true // the closure may never run
+		}
+		child = n
+	}
+	return false
+}
+
+// mentions reports whether expr references obj.
+func mentions(u *Unit, expr ast.Expr, obj types.Object) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && u.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// exprOf narrows an ast.Node known to be an expression.
+func exprOf(n ast.Node) ast.Expr {
+	e, _ := n.(ast.Expr)
+	return e
+}

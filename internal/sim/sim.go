@@ -207,6 +207,7 @@ func (e *Engine) Run() error {
 	// until its start event fires, serializing startup deterministically.
 	for _, p := range e.procs {
 		p := p
+		//lint:ignore gonosim engine-owned worker goroutine: runProc is the primitive behind Spawn, and the start event below serializes it deterministically
 		go e.runProc(p)
 		e.scheduleLocked(e.now, func() { e.wakeLocked(p) })
 	}
