@@ -7,6 +7,7 @@
 //	mhatune -nodes 16 -ppn 32 -o thor-16x32.json   # build and save
 //	mhatune -show thor-16x32.json                  # print a saved table
 //	mhatune -verify thor-16x32.json                # re-measure and compare
+//	mhatune -nodes 4 -ppn 8 -o-cache warm.json     # export in mhatuned cache format
 package main
 
 import (
@@ -17,16 +18,18 @@ import (
 	"mha/internal/core"
 	"mha/internal/netmodel"
 	"mha/internal/topology"
+	"mha/internal/tuner"
 )
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 8, "number of nodes")
-		ppn    = flag.Int("ppn", 32, "processes per node")
-		hcas   = flag.Int("hcas", 2, "HCAs per node")
-		out    = flag.String("o", "", "write the generated table to this file (default stdout)")
-		show   = flag.String("show", "", "print a saved table and exit")
-		verify = flag.String("verify", "", "re-measure a saved table's selections and report drift")
+		nodes    = flag.Int("nodes", 8, "number of nodes")
+		ppn      = flag.Int("ppn", 32, "processes per node")
+		hcas     = flag.Int("hcas", 2, "HCAs per node")
+		out      = flag.String("o", "", "write the generated table to this file (default stdout)")
+		outCache = flag.String("o-cache", "", "also export the table in mhatuned's cache format to this file")
+		show     = flag.String("show", "", "print a saved table and exit")
+		verify   = flag.String("verify", "", "re-measure a saved table's selections and report drift")
 	)
 	flag.Parse()
 
@@ -82,6 +85,32 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	// -o-cache: the same measurements, re-lowered into schedule decisions
+	// in mhatuned's cache format, so a measured machine profile
+	// warm-starts the daemon.
+	if *outCache != "" {
+		decs, err := tuner.ImportTuningTable(prm, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*outCache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tuner.SaveDecisions(f, decs); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cache entries)\n", *outCache, len(decs))
 	}
 }
 

@@ -4,6 +4,9 @@ package mha_test
 // a representative invocation, asserting on its observable output.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -294,6 +297,121 @@ func TestSmokeMhalintFlagsFixtures(t *testing.T) {
 		if !strings.Contains(string(out), pass+":") {
 			t.Fatalf("%s fixture diagnostics unexpected:\n%s", pass, out)
 		}
+	}
+}
+
+func TestSmokeMhatuneCacheExport(t *testing.T) {
+	dir := t.TempDir()
+	table := filepath.Join(dir, "table.json")
+	cache := filepath.Join(dir, "warm.json")
+	out := run(t, "mhatune", "-nodes", "2", "-ppn", "4", "-o", table, "-o-cache", cache)
+	if !strings.Contains(out, "cache entries") {
+		t.Fatalf("-o-cache output unexpected:\n%s", out)
+	}
+	data, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"source": "mhatune"`) {
+		t.Fatalf("cache export missing mhatune-sourced decisions:\n%.200s", data)
+	}
+}
+
+// startMhatuned launches the daemon on an ephemeral port and returns its
+// base URL plus the process handle; the listener is ready once the
+// "listening on" line appears on stderr.
+func startMhatuned(t *testing.T, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), "mhatuned"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			go io.Copy(io.Discard, stderr) // keep draining so the daemon never blocks
+			return strings.TrimSpace(line[i+len("listening on "):]), cmd
+		}
+	}
+	cmd.Wait()
+	t.Fatal("mhatuned never reported readiness")
+	return "", nil
+}
+
+func TestSmokeMhatunedDaemon(t *testing.T) {
+	cacheFile := filepath.Join(t.TempDir(), "cache.json")
+	url, cmd := startMhatuned(t, "-cache", cacheFile)
+
+	query := `{"nodes":2,"ppn":2,"hcas":2,"msg":4096}`
+	post := func() (string, string) {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/schedule", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/schedule: %v status=%d\n%s", err, resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Mhatuned-Cache"), string(body)
+	}
+
+	if resp, err := http.Get(url + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	coldHdr, coldBody := post()
+	warmHdr, warmBody := post()
+	if coldHdr != "miss" || warmHdr != "hit" {
+		t.Fatalf("cache headers cold=%q warm=%q, want miss/hit", coldHdr, warmHdr)
+	}
+	if coldBody != warmBody {
+		t.Fatal("warm response differs from cold response")
+	}
+
+	// Graceful shutdown persists the cache...
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v", err)
+	}
+	if _, err := os.Stat(cacheFile); err != nil {
+		t.Fatalf("cache file not saved: %v", err)
+	}
+
+	// ...and a restarted daemon answers the same query warm.
+	url2, _ := startMhatuned(t, "-cache", cacheFile)
+	resp, err := http.Post(url2+"/v1/schedule", "application/json", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if h := resp.Header.Get("X-Mhatuned-Cache"); h != "hit" {
+		t.Fatalf("restarted daemon served %q, want hit", h)
+	}
+	if string(body) != coldBody {
+		t.Fatal("restarted daemon serves different bytes")
+	}
+}
+
+func TestSmokeMhatunedBench(t *testing.T) {
+	out := run(t, "mhatuned", "-bench", "-bench-requests", "5000")
+	if !strings.Contains(out, "decisions/sec") || !strings.Contains(out, "hit rate") {
+		t.Fatalf("bench output unexpected:\n%s", out)
 	}
 }
 

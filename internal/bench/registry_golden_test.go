@@ -2,10 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -90,7 +93,34 @@ func TestTier1Metrics(t *testing.T) {
 	if err := WriteTier1(&b, Quick); err != nil {
 		t.Fatal(err)
 	}
-	if a.String() != b.String() {
-		t.Fatal("WriteTier1 is not deterministic")
+	// The tuner-* probes are wall-clock serving measurements and drift
+	// run to run by design; every modeled probe must render identically.
+	if got, want := maskWallClock(t, b.Bytes()), maskWallClock(t, a.Bytes()); got != want {
+		t.Fatalf("WriteTier1 modeled probes not deterministic:\n%s\nvs\n%s", want, got)
 	}
+}
+
+// maskWallClock zeroes the wall-clock (tuner-*) probe values in a
+// rendered tier-1 file so determinism checks compare only modeled time.
+func maskWallClock(t *testing.T, data []byte) string {
+	t.Helper()
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("tier-1 render does not parse: %v", err)
+	}
+	for k := range m {
+		if strings.HasPrefix(k, "tuner-") {
+			m[k] = 0
+		}
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v\n", k, m[k])
+	}
+	return b.String()
 }

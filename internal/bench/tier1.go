@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"mha/internal/cluster"
 	"mha/internal/core"
@@ -18,7 +19,9 @@ import (
 type Tier1Metric struct {
 	// ID names the probe after the experiment it samples.
 	ID string
-	// Micros is the modeled latency in virtual microseconds.
+	// Micros is the probe's latency in microseconds: virtual (modeled)
+	// time for the experiment probes, wall time for the tuner-* serving
+	// probes.
 	Micros float64
 }
 
@@ -68,6 +71,21 @@ func Tier1(sc Scale) []Tier1Metric {
 		out = append(out, Tier1Metric{
 			ID:     "cluster-" + policy + "-burst-makespan",
 			Micros: d.Micros(),
+		})
+	}
+	// Autotuner-service probes: the only wall-clock (non-deterministic)
+	// tier-1 numbers — a cold-miss synthesis latency and the per-decision
+	// cost of the warm cache under load (1e6/us = decisions/sec).
+	if d, err := TunerColdSynthLatency(); err == nil {
+		out = append(out, Tier1Metric{
+			ID:     "tuner-cold-synth-2x8x2-64k",
+			Micros: float64(d) / float64(time.Microsecond),
+		})
+	}
+	if rep, err := TunerWarmThroughput(50000); err == nil && rep.PerSec > 0 {
+		out = append(out, Tier1Metric{
+			ID:     "tuner-warm-decision-us",
+			Micros: 1e6 / rep.PerSec,
 		})
 	}
 	return out

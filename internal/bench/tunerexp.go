@@ -1,0 +1,63 @@
+package bench
+
+// Autotuner-service probes. Unlike the other tier-1 probes, which report
+// modeled (virtual-time) latencies, these two measure the daemon's own
+// wall-clock serving performance: what a client pays for a cold
+// synthesis, and what the warm cache sustains under concurrent load.
+// They are therefore the only tier-1 numbers expected to drift run to
+// run; the trajectory that matters is their order of magnitude.
+
+import (
+	"time"
+
+	"mha/internal/sched"
+	"mha/internal/tuner"
+)
+
+// tunerService builds the service the probes measure, with the same
+// search strength the daemon defaults to.
+func tunerService() *tuner.Service {
+	return tuner.New(tuner.Config{Capacity: 64})
+}
+
+// TunerColdSynthLatency measures one cold autotuner decision end to end
+// — canonicalize, beam-synthesize, analyze, encode — for a dual-rail
+// 2x8 node pair at 64 KiB, the daemon's representative cold-miss cost.
+func TunerColdSynthLatency() (time.Duration, error) {
+	s := tunerService()
+	q := tuner.Query{Nodes: 2, PPN: 8, HCAs: 2, Msg: 64 << 10}
+	start := time.Now()
+	if _, err := s.Decide(q); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// tunerWarmQueries is the warm-throughput probe's query mix: small
+// shapes so warming is cheap; the warm path's cost is independent of the
+// shape behind the cache key.
+func tunerWarmQueries() []tuner.Query {
+	return []tuner.Query{
+		{Nodes: 2, PPN: 2, HCAs: 2, Msg: 4 << 10},
+		{Nodes: 2, PPN: 2, HCAs: 2, Msg: 64 << 10},
+		{Nodes: 2, PPN: 4, HCAs: 2, Msg: 16 << 10},
+		{Nodes: 1, PPN: 4, HCAs: 2, Msg: 8 << 10},
+	}
+}
+
+// TunerWarmThroughput warms a service and drives the synthetic load
+// generator over the cached keys, returning the sustained decision rate.
+// The acceptance bar is >= 1e5 cached decisions/sec (tested in
+// tunerexp_test.go); a healthy run is well above it.
+func TunerWarmThroughput(requests int) (tuner.LoadReport, error) {
+	// Warming uses a reduced search only to keep the probe quick; the
+	// warm path being measured never touches the synthesizer.
+	s := tuner.New(tuner.Config{Capacity: 64, Synth: sched.SynthOptions{Beam: 3, Rounds: 3}})
+	queries := tunerWarmQueries()
+	for _, q := range queries {
+		if _, err := s.Decide(q); err != nil {
+			return tuner.LoadReport{}, err
+		}
+	}
+	return tuner.RunLoad(s, tuner.LoadOptions{Workers: 4, Requests: requests, Queries: queries})
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTunerColdSynthLatency(t *testing.T) {
+	d, err := TunerColdSynthLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("non-positive cold-synthesis latency %v", d)
+	}
+	if d > time.Minute {
+		t.Fatalf("cold synthesis took %v; the probe shape should be interactive", d)
+	}
+	t.Logf("cold synthesis: %v", d)
+}
+
+// TestTunerWarmThroughput is the acceptance bar for the warm-cache
+// probe: the load generator must sustain at least 1e5 cached
+// decisions/sec. A healthy run is an order of magnitude above the bar;
+// skipped under -short so the race-detector CI step (which slows the
+// hot path ~10x) is not held to a wall-clock promise.
+func TestTunerWarmThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput bar; skipped in -short")
+	}
+	rep, err := TunerWarmThroughput(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits != int64(rep.Requests) {
+		t.Errorf("warm run saw %d hits out of %d requests", rep.Hits, rep.Requests)
+	}
+	const bar = 1e5
+	if rep.PerSec < bar {
+		t.Errorf("warm cache sustained %.0f decisions/sec, want >= %.0f", rep.PerSec, bar)
+	}
+	t.Logf("warm load: %v", rep)
+}

@@ -207,7 +207,21 @@ type resKey struct {
 // unpinned inter-node transfers stripe above StripeThreshold and
 // round-robin below it, like mpi.Isend's healthy policy).
 func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
+	return AnalyzeHealth(s, prm, nil)
+}
+
+// AnalyzeHealth is Analyze under a steady rail-health vector (see
+// ValidHealth): degraded rails price at their surviving bandwidth, policy
+// transfers stripe across rails weighted by health (and round-robin only
+// over the live ones), mirroring the runtime's health-aware transport
+// under the equivalent fault schedule — and a transfer pinned to a down
+// rail is an invariant violation, because the runtime would wait on it
+// forever. A nil vector is exactly Analyze.
+func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report, error) {
 	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidHealth(health, s.Topo.HCAs); err != nil {
 		return nil, err
 	}
 	if prm == nil {
@@ -243,6 +257,9 @@ func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
 				viol.addf("step %d xfer %d: rank %d sends block %d before holding it", si, xi, t.Src, blk)
 			}
 			if t.Via == ViaRail {
+				if healthOf(health, t.Rail) <= 0 {
+					viol.addf("step %d xfer %d: pinned to down rail %d", si, xi, t.Rail)
+				}
 				tx := resKey{resTX, s.Topo.NodeOf(t.Src), t.Rail}
 				rx := resKey{resRX, s.Topo.NodeOf(t.Dst), t.Rail}
 				if pinned[tx]++; pinned[tx] > 1 {
@@ -296,24 +313,30 @@ func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
 				busy[resKey{resCPU, t.Src, 0}] += prm.CMATime(t.Len, memOps[srcNode])
 				rep.IntraBytes += int64(t.Len)
 			case t.Via == ViaRail:
-				d := hcaPiece(prm, t.Len, t.Len)
+				d := hcaPiece(prm, t.Len, t.Len, healthOf(health, t.Rail))
 				addTX(srcNode, t.Rail, d)
 				addRX(dstNode, t.Rail, d)
 				rep.WireBytes += int64(t.Len)
 			default: // ViaHCA anywhere, or ViaAuto across nodes
 				if prm.ShouldStripe(t.Len) && H > 1 {
-					for rail, piece := range netmodel.RailChunk(t.Len, H) {
+					for rail, piece := range stripeChunks(t.Len, H, health) {
 						if piece == 0 {
 							continue
 						}
-						d := hcaPiece(prm, t.Len, piece)
+						d := hcaPiece(prm, t.Len, piece, healthOf(health, rail))
 						addTX(srcNode, rail, d)
 						addRX(dstNode, rail, d)
 					}
 				} else {
 					r := railRR[t.Src] % H
 					railRR[t.Src]++
-					d := hcaPiece(prm, t.Len, t.Len)
+					for healthOf(health, r) <= 0 {
+						// The runtime's failover skips dead rails; ValidHealth
+						// guarantees a live one exists.
+						r = railRR[t.Src] % H
+						railRR[t.Src]++
+					}
+					d := hcaPiece(prm, t.Len, t.Len, healthOf(health, r))
 					addTX(srcNode, r, d)
 					addRX(dstNode, r, d)
 				}
@@ -356,12 +379,36 @@ func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
 }
 
 // hcaPiece prices one rail piece of an adapter transfer: startup plus
-// wire time, plus the rendezvous handshake when the whole message
-// crosses the threshold — the same shape mpi.sendHCA charges per rail.
-func hcaPiece(prm *netmodel.Params, total, piece int) sim.Duration {
-	d := prm.AlphaHCA + sim.FromSeconds(float64(piece)/prm.BWHCA)
+// wire time at the rail's surviving bandwidth, plus the rendezvous
+// handshake when the whole message crosses the threshold — the same
+// shape mpi.sendHCA charges per rail. Dead rails (health <= 0) are the
+// caller's problem: pinned use is a violation and the policy paths never
+// route bytes to them.
+func hcaPiece(prm *netmodel.Params, total, piece int, health float64) sim.Duration {
+	d := prm.AlphaHCA + sim.FromSeconds(float64(piece)/prm.EffectiveBW(health))
 	if total >= prm.RendezvousThreshold {
 		d += prm.AlphaRendezvous
 	}
 	return d
+}
+
+// stripeChunks splits a striped policy transfer across the rails: equal
+// pieces when every rail is healthy (the runtime's healthy split),
+// health-weighted pieces otherwise (its re-weighted split, dead rails
+// getting nothing).
+func stripeChunks(n, rails int, health []float64) []int {
+	if health == nil {
+		return netmodel.RailChunk(n, rails)
+	}
+	uniform := true
+	for _, h := range health {
+		if h != health[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return netmodel.RailChunk(n, rails)
+	}
+	return netmodel.RailChunkWeighted(n, health)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mha/internal/faults"
 	"mha/internal/mpi"
 	"mha/internal/netmodel"
 	"mha/internal/sim"
@@ -128,7 +129,18 @@ func Runner(build func(topo topology.Cluster, msg int) *Schedule) func(p *mpi.Pr
 // makespan (the latest rank-finish time). It is the measured counterpart
 // of Analyze's Cost: same plan, real contention.
 func Simulate(topo topology.Cluster, prm *netmodel.Params, s *Schedule) (sim.Duration, error) {
-	w := mpi.New(mpi.Config{Topo: topo, Params: prm, Phantom: true})
+	return runSchedule(newPhantomWorld(topo, prm, nil), s)
+}
+
+// newPhantomWorld builds the measurement world Simulate and
+// SimulateHealth share, optionally under a fault schedule.
+func newPhantomWorld(topo topology.Cluster, prm *netmodel.Params, fsched *faults.Schedule) *mpi.World {
+	return mpi.New(mpi.Config{Topo: topo, Params: prm, Phantom: true, Faults: fsched})
+}
+
+// runSchedule executes the schedule on every rank of w and returns the
+// latest rank-finish time.
+func runSchedule(w *mpi.World, s *Schedule) (sim.Duration, error) {
 	var mu sync.Mutex
 	var worst sim.Time
 	err := w.Run(func(p *mpi.Proc) {

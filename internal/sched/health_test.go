@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+func TestValidHealth(t *testing.T) {
+	cases := []struct {
+		h    []float64
+		hcas int
+		ok   bool
+	}{
+		{nil, 2, true},
+		{[]float64{1, 1}, 2, true},
+		{[]float64{0, 0.5}, 2, true},
+		{[]float64{1}, 2, false},      // wrong length
+		{[]float64{0, 0}, 2, false},   // every rail down
+		{[]float64{1.5, 1}, 2, false}, // out of range
+		{[]float64{-0.1, 1}, 2, false},
+	}
+	for _, c := range cases {
+		err := ValidHealth(c.h, c.hcas)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidHealth(%v, %d) = %v, want ok=%v", c.h, c.hcas, err, c.ok)
+		}
+	}
+}
+
+func TestApplyHealthReroutesDeadRailPins(t *testing.T) {
+	topo := topology.New(2, 2, 2)
+	prm := netmodel.Thor()
+	s := TwoPhaseMHA(topo, prm, 64<<10, MHAOptions{Offload: AutoOffload})
+	health := []float64{1, 0} // rail 1 down
+
+	// The MHA lowering stripes across both rails, so repair must fire.
+	rep := ApplyHealth(s, health)
+	if rep == s {
+		t.Fatalf("ApplyHealth returned the original schedule despite dead-rail pins")
+	}
+	for si, st := range rep.Steps {
+		for xi, x := range st.Xfers {
+			if x.Via == ViaRail && x.Rail == 1 {
+				t.Fatalf("step %d xfer %d still pinned to dead rail 1", si, xi)
+			}
+		}
+	}
+	// The repaired schedule passes the health-aware invariants...
+	if _, err := AnalyzeHealth(rep, prm, health); err != nil {
+		t.Fatalf("repaired schedule rejected: %v", err)
+	}
+	// ...while the unrepaired one is rejected for pinning a down rail.
+	if _, err := AnalyzeHealth(s, prm, health); err == nil {
+		t.Fatalf("AnalyzeHealth accepted a schedule pinned to a down rail")
+	}
+	// Healthy vectors are a no-op.
+	if got := ApplyHealth(s, []float64{1, 1}); got != s {
+		t.Fatalf("ApplyHealth rewrote a schedule under a healthy vector")
+	}
+}
+
+func TestAnalyzeHealthPricesDegradedRails(t *testing.T) {
+	topo := topology.New(2, 2, 2)
+	prm := netmodel.Thor()
+	s := TwoPhaseMHA(topo, prm, 256<<10, MHAOptions{Offload: AutoOffload})
+
+	healthy, err := AnalyzeHealth(s, prm, nil)
+	if err != nil {
+		t.Fatalf("healthy analysis: %v", err)
+	}
+	base, err := Analyze(s, prm)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if healthy.Cost != base.Cost {
+		t.Fatalf("nil-health analysis drifted: %v != %v", healthy.Cost, base.Cost)
+	}
+	degraded, err := AnalyzeHealth(s, prm, []float64{1, 0.25})
+	if err != nil {
+		t.Fatalf("degraded analysis: %v", err)
+	}
+	if degraded.Cost <= healthy.Cost {
+		t.Fatalf("degraded rail did not raise the predicted cost: %v <= %v", degraded.Cost, healthy.Cost)
+	}
+}
+
+func TestSimulateHealthMatchesSimulateWhenHealthy(t *testing.T) {
+	topo := topology.New(2, 2, 2)
+	prm := netmodel.Thor()
+	s := Ring(topo, 4<<10)
+	plain, err := Simulate(topo, prm, s)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	viaHealth, err := SimulateHealth(topo, prm, s, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("SimulateHealth: %v", err)
+	}
+	if plain != viaHealth {
+		t.Fatalf("healthy SimulateHealth %v != Simulate %v", viaHealth, plain)
+	}
+	degraded, err := SimulateHealth(topo, prm, s, []float64{1, 0.5})
+	if err != nil {
+		t.Fatalf("degraded SimulateHealth: %v", err)
+	}
+	if degraded < plain {
+		t.Fatalf("degraded run faster than healthy: %v < %v", degraded, plain)
+	}
+}
+
+func TestSynthesizeUnderRailOutage(t *testing.T) {
+	topo := topology.New(2, 4, 2)
+	prm := netmodel.Thor()
+	health := []float64{1, 0}
+	res, err := Synthesize(topo, prm, 64<<10, SynthOptions{Health: health})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	for si, st := range res.Best.Sched.Steps {
+		for xi, x := range st.Xfers {
+			if x.Via == ViaRail && x.Rail == 1 {
+				t.Fatalf("best schedule step %d xfer %d pinned to the dead rail", si, xi)
+			}
+		}
+	}
+	if _, err := AnalyzeHealth(res.Best.Sched, prm, health); err != nil {
+		t.Fatalf("best schedule fails health-aware invariants: %v", err)
+	}
+	if res.Best.Makespan == 0 {
+		t.Fatalf("measured synthesis left Makespan unset")
+	}
+
+	// Same inputs, same pick: the daemon's cache-consistency contract.
+	again, err := Synthesize(topo, prm, 64<<10, SynthOptions{Health: health})
+	if err != nil {
+		t.Fatalf("second Synthesize: %v", err)
+	}
+	if again.Best.Name != res.Best.Name ||
+		!reflect.DeepEqual(again.Best.Sched.Steps, res.Best.Sched.Steps) {
+		t.Fatalf("synthesis is not deterministic: %s vs %s", again.Best.Name, res.Best.Name)
+	}
+}
+
+func TestSynthesizePruneMarginSkipsSimulation(t *testing.T) {
+	topo := topology.New(2, 4, 2)
+	prm := netmodel.Thor()
+	// An absurdly generous margin can never be exceeded, so the pick is
+	// measured; a tiny margin on a shape where the analyzer clearly
+	// separates candidates prunes.
+	res, err := Synthesize(topo, prm, 256<<10, SynthOptions{PruneMargin: 1e-9})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !res.Pruned {
+		// Acceptable when the top finalists are within a hair of each
+		// other — but then the result must be measured.
+		if res.Best.Makespan == 0 {
+			t.Fatalf("unpruned synthesis left Makespan unset")
+		}
+		return
+	}
+	if res.Best.Makespan != 0 {
+		t.Fatalf("pruned synthesis still simulated (makespan %v)", res.Best.Makespan)
+	}
+	if res.Best.Sched == nil {
+		t.Fatalf("pruned synthesis emitted no schedule")
+	}
+}

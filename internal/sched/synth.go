@@ -40,6 +40,18 @@ type SynthOptions struct {
 	// NoMeasure skips the final simulation pass: the best candidate is
 	// then chosen purely by analyzer cost and Makespan stays zero.
 	NoMeasure bool
+	// Health is the steady rail-health vector (see ValidHealth): the
+	// seeds are repaired off dead rails (ApplyHealth), every candidate
+	// is priced health-aware, mutations never pin a dead rail, and the
+	// final measurement runs under the equivalent fault schedule. Nil
+	// means all rails healthy.
+	Health []float64
+	// PruneMargin, when positive, is the analytic-pruning knob the
+	// autotuner service uses: if the cheapest candidate's analyzer cost
+	// undercuts every other finalist's by more than this fraction, the
+	// simulation pass is skipped and the analytic pick is emitted with
+	// Pruned set (the model is only consulted when it is ambiguous).
+	PruneMargin float64
 }
 
 // SynthResult is the search outcome.
@@ -52,6 +64,9 @@ type SynthResult struct {
 	Lowered []Candidate
 	// Seeds holds every analyzer-scored starting point, cheapest first.
 	Seeds []Candidate
+	// Pruned records that the simulation pass was skipped because the
+	// analytic margin exceeded PruneMargin (or NoMeasure was set).
+	Pruned bool
 }
 
 func (o SynthOptions) withDefaults() SynthOptions {
@@ -72,11 +87,15 @@ func Synthesize(topo topology.Cluster, prm *netmodel.Params, msg int, opt SynthO
 		prm = netmodel.Thor()
 	}
 	opt = opt.withDefaults()
+	if err := ValidHealth(opt.Health, topo.HCAs); err != nil {
+		return nil, err
+	}
 	L := topo.PPN
 	pow2N := topo.Nodes > 1 && topo.Nodes&(topo.Nodes-1) == 0
 
 	// Seed pool: the canonical lowerings plus an MHA option grid and the
-	// greedy direct construction.
+	// greedy direct construction, each repaired off dead rails before it
+	// is scored.
 	var seeds []Candidate
 	addSeed := func(name string, s *Schedule) {
 		if s == nil {
@@ -87,7 +106,8 @@ func Synthesize(topo topology.Cluster, prm *netmodel.Params, msg int, opt SynthO
 				return
 			}
 		}
-		rep, err := Analyze(s, prm)
+		s = ApplyHealth(s, opt.Health)
+		rep, err := AnalyzeHealth(s, prm, opt.Health)
 		if err != nil {
 			// A lowering that fails its own analysis is a bug; surface it
 			// instead of silently searching around it.
@@ -151,7 +171,7 @@ func Synthesize(topo topology.Cluster, prm *netmodel.Params, msg int, opt SynthO
 		var next []Candidate
 		next = append(next, beam...)
 		for _, c := range beam {
-			for _, mut := range mutate(c, prm) {
+			for _, mut := range mutate(c, prm, opt.Health) {
 				next = append(next, mut)
 			}
 		}
@@ -169,7 +189,7 @@ func Synthesize(topo topology.Cluster, prm *netmodel.Params, msg int, opt SynthO
 
 	res := &SynthResult{Lowered: lowered, Seeds: seeds}
 	if opt.NoMeasure {
-		res.Best = best
+		res.Best, res.Pruned = best, true
 		return res, nil
 	}
 
@@ -180,8 +200,19 @@ func Synthesize(topo topology.Cluster, prm *netmodel.Params, msg int, opt SynthO
 	finalists := append([]Candidate(nil), beam...)
 	finalists = append(finalists, lowered...)
 	finalists = dedupe(finalists)
+
+	// Analytic pruning: when the model already separates the winner from
+	// every rival by more than the margin, skip the simulations.
+	if opt.PruneMargin > 0 {
+		sortCandidates(finalists)
+		margin := sim.Duration(float64(finalists[0].Cost) * (1 + opt.PruneMargin))
+		if len(finalists) == 1 || finalists[1].Cost > margin {
+			res.Best, res.Pruned = finalists[0], true
+			return res, nil
+		}
+	}
 	for i := range finalists {
-		mk, err := Simulate(topo, prm, finalists[i].Sched)
+		mk, err := SimulateHealth(topo, prm, finalists[i].Sched, opt.Health)
 		if err != nil {
 			return nil, fmt.Errorf("sched: simulating candidate %s: %v", finalists[i].Name, err)
 		}
@@ -240,14 +271,16 @@ const (
 // mutate generates improved neighbors of a candidate: adjacent-step
 // fusion, moving a pinned transfer off its rail, and splitting a large
 // pinned transfer across an idle rail. Only mutants the analyzer
-// accepts with a strictly lower cost survive.
-func mutate(c Candidate, prm *netmodel.Params) []Candidate {
+// accepts with a strictly lower cost survive; under a health vector the
+// pricing is health-aware and dead rails are never pinned, so the search
+// naturally migrates pinned traffic onto the surviving rails.
+func mutate(c Candidate, prm *netmodel.Params, health []float64) []Candidate {
 	var out []Candidate
 	try := func(name string, s *Schedule) bool {
 		if len(out) >= mutationBudget {
 			return false
 		}
-		rep, err := Analyze(s, prm)
+		rep, err := AnalyzeHealth(s, prm, health)
 		if err != nil || rep.Cost >= c.Cost {
 			return true // keep scanning other mutations
 		}
@@ -282,7 +315,7 @@ func mutate(c Candidate, prm *netmodel.Params) []Candidate {
 			}
 			if moves < mutationBudget {
 				for r := 0; r < c.Sched.Topo.HCAs; r++ {
-					if r == t.Rail {
+					if r == t.Rail || healthOf(health, r) <= 0 {
 						continue
 					}
 					s := c.Sched.Clone()
@@ -297,7 +330,7 @@ func mutate(c Candidate, prm *netmodel.Params) []Candidate {
 			}
 			if splits < mutationBudget && t.Len >= 2*prm.StripeThreshold {
 				for r := 0; r < c.Sched.Topo.HCAs; r++ {
-					if r == t.Rail {
+					if r == t.Rail || healthOf(health, r) <= 0 {
 						continue
 					}
 					s := c.Sched.Clone()

@@ -1,0 +1,92 @@
+package tuner
+
+import (
+	"fmt"
+	"io"
+
+	"mha/internal/core"
+	"mha/internal/netmodel"
+	"mha/internal/sched"
+)
+
+// Importing measured tuning tables. mhatune produces a core.TuningTable
+// of measured-best (algorithm, offload) picks per message-size class;
+// mhatune -o-cache converts that table into the daemon's cache format so
+// a measured machine profile warm-starts mhatuned. Each table entry
+// becomes one Decision at the entry's size-class boundary: the schedule
+// is the TwoPhaseMHA lowering the measurement selected (its algorithm
+// and offload), the makespan is the measured latency, and the source is
+// marked "mhatune" to distinguish it from daemon-synthesized picks.
+
+// ImportTuningTable converts a measured tuning table into decisions in
+// the daemon's cache format, oldest (smallest size class) first.
+func ImportTuningTable(prm *netmodel.Params, tbl core.TuningTable) ([]*Decision, error) {
+	if prm == nil {
+		prm = netmodel.Thor()
+	}
+	base := Query{Nodes: tbl.Nodes, PPN: tbl.PPN, HCAs: tbl.HCAs}
+	if len(tbl.Entries) == 0 {
+		return nil, fmt.Errorf("tuner: tuning table for %dx%dx%d has no entries", tbl.Nodes, tbl.PPN, tbl.HCAs)
+	}
+	var out []*Decision
+	seen := make(map[string]bool)
+	for _, e := range tbl.Entries {
+		q := base
+		q.Msg = e.MaxBytes
+		if q.Msg > MaxQueryMsg {
+			q.Msg = MaxQueryMsg
+		}
+		cq, key, err := q.Canonical()
+		if err != nil {
+			return nil, fmt.Errorf("tuner: tuning table entry at %d bytes: %v", e.MaxBytes, err)
+		}
+		if seen[key] {
+			// Two size classes clamped onto one query (table reaches past
+			// MaxQueryMsg); the first — the measured class at the limit — wins.
+			continue
+		}
+		seen[key] = true
+		opt := sched.MHAOptions{Offload: int(e.OffloadD)}
+		measured := e.RingUS
+		if e.Alg == "rd" {
+			opt.Phase2 = sched.Phase2RD
+			measured = e.RDUS
+		}
+		s := sched.TwoPhaseMHA(cq.Cluster(), prm, cq.Msg, opt)
+		rep, err := sched.Analyze(s, prm)
+		if err != nil {
+			return nil, fmt.Errorf("tuner: lowered table entry at %d bytes fails invariants: %v", e.MaxBytes, err)
+		}
+		js, err := s.JSON()
+		if err != nil {
+			return nil, err
+		}
+		dec := &Decision{
+			Key:         key,
+			Query:       cq,
+			Name:        s.Name,
+			CostUS:      rep.Cost.Micros(),
+			MakespanUS:  measured,
+			PredictedUS: predictQueryUS(prm, cq),
+			Source:      "mhatune",
+			Schedule:    js,
+		}
+		out = append(out, dec)
+	}
+	return out, nil
+}
+
+// SaveDecisions writes decisions as a cache file the daemon's -cache
+// flag (or Service.LoadCache) accepts; order is preserved as the cache's
+// oldest-to-newest recency order.
+func SaveDecisions(w io.Writer, decs []*Decision) error {
+	c := newLRU(len(decs))
+	for _, d := range decs {
+		raw, err := d.Encode()
+		if err != nil {
+			return err
+		}
+		c.put(&cacheEntry{key: d.Key, dec: d, raw: raw})
+	}
+	return c.save(w)
+}

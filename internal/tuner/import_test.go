@@ -1,0 +1,94 @@
+package tuner
+
+import (
+	"bytes"
+	"testing"
+
+	"mha/internal/core"
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+func TestImportTuningTable(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.New(2, 4, 2)
+	tbl := core.BuildTuningTable(topo, prm, []int{4096, 65536})
+
+	decs, err := ImportTuningTable(prm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != len(tbl.Entries) {
+		t.Fatalf("imported %d decisions from %d entries", len(decs), len(tbl.Entries))
+	}
+	for i, d := range decs {
+		if d.Source != "mhatune" {
+			t.Errorf("decision %d source %q, want mhatune", i, d.Source)
+		}
+		if d.MakespanUS <= 0 {
+			t.Errorf("decision %d has no measured latency", i)
+		}
+		raw, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Imported decisions pass the same full re-verification persisted
+		// synthesized ones do.
+		if _, err := DecodeDecision(raw, prm); err != nil {
+			t.Errorf("decision %d fails re-verification: %v", i, err)
+		}
+	}
+
+	// The exported file loads into a service and answers warm.
+	var buf bytes.Buffer
+	if err := SaveDecisions(&buf, decs); err != nil {
+		t.Fatal(err)
+	}
+	s := testService(8)
+	n, err := s.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(decs) {
+		t.Fatalf("loaded %d entries, want %d", n, len(decs))
+	}
+	res, err := s.Decide(Query{Nodes: 2, PPN: 4, HCAs: 2, Msg: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Error("imported entry did not serve a warm hit")
+	}
+	if res.Decision.Source != "mhatune" {
+		t.Errorf("warm hit source %q, want mhatune", res.Decision.Source)
+	}
+	if s.SynthCount() != 0 {
+		t.Error("imported warm hit still ran a synthesis")
+	}
+}
+
+func TestImportClampsOversizedClasses(t *testing.T) {
+	prm := netmodel.Thor()
+	tbl := core.TuningTable{
+		Nodes: 2, PPN: 2, HCAs: 2,
+		Entries: []core.TuningEntry{
+			{MaxBytes: 4096, Alg: "ring", OffloadD: 1, RingUS: 10, RDUS: 12},
+			// Both of these clamp to MaxQueryMsg; only the first survives.
+			{MaxBytes: MaxQueryMsg * 2, Alg: "ring", OffloadD: 1, RingUS: 100, RDUS: 120},
+			{MaxBytes: MaxQueryMsg * 4, Alg: "rd", OffloadD: 1, RingUS: 200, RDUS: 180},
+		},
+	}
+	decs, err := ImportTuningTable(prm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != 2 {
+		t.Fatalf("imported %d decisions, want 2 (clamped duplicates dropped)", len(decs))
+	}
+	if decs[1].Query.Msg != MaxQueryMsg {
+		t.Errorf("oversized class clamped to %d, want %d", decs[1].Query.Msg, MaxQueryMsg)
+	}
+	if decs[1].MakespanUS != 100 {
+		t.Errorf("first clamped class should win: makespan %v, want 100", decs[1].MakespanUS)
+	}
+}

@@ -1,0 +1,81 @@
+package tuner
+
+import "time"
+
+// Serving statistics. Counters are guarded by the Service mutex; the
+// /v1/stats handler serves a Stats snapshot, whose struct-ordered JSON
+// keeps the wire form deterministic for a given state.
+
+// histBuckets are the synthesis-latency histogram's upper bounds in
+// microseconds: 100us doubling to ~52s, plus an implicit overflow
+// bucket. Cold syntheses land across this range depending on shape.
+var histBuckets = func() []float64 {
+	out := make([]float64, 20)
+	b := 100.0
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// histogram accumulates synthesis latencies.
+type histogram struct {
+	counts  []int64 // len(histBuckets)+1, last = overflow
+	count   int64
+	totalUS float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(histBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	i := 0
+	for i < len(histBuckets) && us > histBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.totalUS += us
+}
+
+// HistogramBucket is one bucket of the latency histogram snapshot.
+type HistogramBucket struct {
+	// LeUS is the bucket's inclusive upper bound in microseconds; the
+	// overflow bucket reports 0 and is last.
+	LeUS  float64 `json:"le_us"`
+	Count int64   `json:"count"`
+}
+
+// Stats is one point-in-time snapshot of the service counters.
+type Stats struct {
+	// Hits/Misses/Shared classify Decide calls: cache hit, synthesis
+	// miss, and a miss that piggybacked on another caller's in-flight
+	// synthesis of the same key (singleflight deduplication).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Shared int64 `json:"shared"`
+	// Errors counts Decide calls that failed (invalid query or failed
+	// synthesis).
+	Errors int64 `json:"errors"`
+	// Synths is the number of syntheses actually run; with singleflight
+	// it equals Misses that reached the synthesizer.
+	Synths int64 `json:"synths"`
+	// Inflight is the number of syntheses running right now.
+	Inflight int `json:"inflight"`
+	// Entries/Capacity/Evictions describe the LRU.
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+	// WarmStart counts entries preloaded at startup (warm-start table or
+	// a persisted cache file).
+	WarmStart int `json:"warm_start"`
+	// SynthCount/SynthTotalUS/SynthLatency summarize synthesis wall
+	// latency: the per-key cost of a cold miss.
+	SynthTotalUS float64           `json:"synth_total_us"`
+	SynthLatency []HistogramBucket `json:"synth_latency"`
+	// HitRate is Hits / (Hits + Misses + Shared), 0 when idle.
+	HitRate float64 `json:"hit_rate"`
+}

@@ -38,6 +38,7 @@ import (
 	"mha/internal/sim"
 	"mha/internal/topology"
 	"mha/internal/trace"
+	"mha/internal/tuner"
 	"mha/internal/verify"
 )
 
@@ -314,6 +315,52 @@ var (
 func MHASchedule(topo Cluster, prm *Params, msg int) *Schedule {
 	return sched.TwoPhaseMHA(topo, prm, msg, sched.MHAOptions{Offload: sched.AutoOffload})
 }
+
+// Health-aware scheduling: a rail-health vector (one fraction per rail,
+// 1 healthy, 0 down, in between degraded; nil = all healthy) threads
+// through analysis, synthesis, and simulation, so schedules can be
+// priced and searched for the machine as it is, not as built.
+var (
+	// AnalyzeScheduleHealth prices a schedule under a rail-health vector
+	// and rejects schedules that pin transfers to down rails.
+	AnalyzeScheduleHealth = sched.AnalyzeHealth
+	// ApplyScheduleHealth reroutes a schedule's dead-rail pins onto the
+	// runtime's health-aware striping, returning a repaired clone.
+	ApplyScheduleHealth = sched.ApplyHealth
+	// SimulateScheduleHealth measures one phantom run under the fault
+	// schedule equivalent to a steady health vector.
+	SimulateScheduleHealth = sched.SimulateHealth
+)
+
+// The autotuner service (internal/tuner, cmd/mhatuned): schedule
+// synthesis as a service. An Autotuner answers "best schedule for this
+// (topology, ppn, rails, layout, message size, rail health)" queries
+// from a deterministic LRU cache of synthesized decisions, deduplicating
+// concurrent misses so each distinct machine state is synthesized once,
+// and persisting the cache across restarts (see DESIGN.md section 11).
+type (
+	// Autotuner is the caching schedule-decision service.
+	Autotuner = tuner.Service
+	// AutotunerConfig sizes the cache and tunes the search.
+	AutotunerConfig = tuner.Config
+	// TunerQuery is one machine-state query.
+	TunerQuery = tuner.Query
+	// TunerDecision is the served answer: schedule plus pricing.
+	TunerDecision = tuner.Decision
+	// TunerStats is a point-in-time serving-statistics snapshot.
+	TunerStats = tuner.Stats
+)
+
+// Autotuner entry points: NewAutotuner builds a service, ParseTunerQuery
+// strictly parses a request body, AutotunerHandler serves the HTTP API
+// (POST /v1/schedule, GET /v1/stats, GET /healthz), and
+// WarmStartAutotuner pre-synthesizes the paper's Thor configurations.
+var (
+	NewAutotuner       = tuner.New
+	ParseTunerQuery    = tuner.ParseQuery
+	AutotunerHandler   = tuner.Handler
+	WarmStartAutotuner = tuner.WarmStart
+)
 
 // NewModel builds the analytic cost model of Section 4 for a shape.
 func NewModel(p *Params, c Cluster) Model { return perfmodel.New(p, c) }
