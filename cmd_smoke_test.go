@@ -193,6 +193,40 @@ func TestSmokeMhaverifyRejectsBadSpec(t *testing.T) {
 	}
 }
 
+func TestSmokeMhaexplore(t *testing.T) {
+	// A shape small enough to exhaust in well under a second, with fault
+	// placements so the placement matrix is exercised end to end.
+	out := run(t, "mhaexplore", "-algs", "ring,rd", "-nodes", "2", "-ppn", "1",
+		"-hcas", "2", "-msg", "4", "-faults")
+	for _, want := range []string{"fault=node1.rail1", "all interleavings verified", "across 10 placements"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhaexplore output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "mhaexplore", "-repro", "alg=ring nodes=1 ppn=2 hcas=1 msg=4 fault=none sched=canonical")
+	if !strings.Contains(out, "repro passed") {
+		t.Fatalf("mhaexplore -repro output unexpected:\n%s", out)
+	}
+	out = run(t, "mhaexplore", "-list")
+	for _, want := range []string{"ring", "rd", "sched-mha"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mhaexplore -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMhaexploreRejectsUnfittingSchedule(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "mhaexplore"), "-repro",
+		"alg=ring nodes=1 ppn=2 hcas=1 msg=4 fault=none sched=9.9.9")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unfitting schedule accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "does not replay") {
+		t.Fatalf("unfitting-schedule diagnostic unexpected:\n%s", out)
+	}
+}
+
 func TestSmokeMhaosuMachinePreset(t *testing.T) {
 	out := run(t, "mhaosu", "allgather", "-machine", "thetagpu", "-nodes", "2", "-ppn", "4",
 		"-min", "16384", "-max", "65536")

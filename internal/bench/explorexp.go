@@ -1,0 +1,40 @@
+package bench
+
+// Model-checker probe. Like the tuner-* probes this measures wall
+// clock, not modeled time: the sustained rate at which the exhaustive
+// explorer (internal/explore) visits engine states on the paper's
+// 4-rank dual-rail shape. It tracks the cost of the scheduler seam and
+// the DPOR bookkeeping, which the modeled-latency probes cannot see.
+
+import (
+	"fmt"
+	"time"
+
+	"mha/internal/explore"
+)
+
+// ExploreStatesPerSec exhausts the ring variant on the 2x2x2 benchmark
+// shape and returns visited engine states per wall-clock second. The
+// exploration must complete and find nothing: an incomplete search means
+// the reduction regressed, a counterexample means the variant broke, and
+// either makes the probe's rate meaningless.
+func ExploreStatesPerSec() (float64, error) {
+	start := time.Now()
+	rep, err := explore.Run(explore.Options{
+		Algs: []string{"ring"}, Nodes: 2, PPN: 2, HCAs: 2, Msg: 8,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Complete {
+		return 0, fmt.Errorf("bench: exploration incomplete (%d executions)", rep.Executions)
+	}
+	if rep.Counterexamples != 0 {
+		return 0, fmt.Errorf("bench: exploration found %d counterexamples", rep.Counterexamples)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("bench: implausible exploration elapsed time")
+	}
+	return float64(rep.Steps) / elapsed, nil
+}

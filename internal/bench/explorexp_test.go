@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+// TestExploreStatesPerSec sanity-checks the model-checker probe: the
+// benchmark-shape exploration must complete cleanly at a plausible rate.
+// The floor is deliberately loose (the race-detector CI step slows the
+// engine ~10x); the trajectory that matters is the order of magnitude
+// recorded in BENCH_tier1.json.
+func TestExploreStatesPerSec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput probe; skipped in -short")
+	}
+	rate, err := ExploreStatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 1000 {
+		t.Errorf("explorer visited %.0f states/sec; expected thousands", rate)
+	}
+	t.Logf("explorer: %.0f states/sec", rate)
+}

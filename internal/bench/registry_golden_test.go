@@ -81,7 +81,8 @@ func TestTier1Metrics(t *testing.T) {
 		}
 		seen[m.ID] = true
 	}
-	for _, id := range []string{"fig3-pt2pt-2hca-64k", "fig12a-allgather-MHA-8k", "fig15-allreduce-mha-1m"} {
+	for _, id := range []string{"fig3-pt2pt-2hca-64k", "fig12a-allgather-MHA-8k",
+		"fig15-allreduce-mha-1m", "explore-states-per-sec-4x2"} {
 		if !seen[id] {
 			t.Errorf("missing probe %s (have %v)", id, ms)
 		}
@@ -100,8 +101,9 @@ func TestTier1Metrics(t *testing.T) {
 	}
 }
 
-// maskWallClock zeroes the wall-clock (tuner-*) probe values in a
-// rendered tier-1 file so determinism checks compare only modeled time.
+// maskWallClock zeroes the wall-clock (tuner-* and explore-*) probe
+// values in a rendered tier-1 file so determinism checks compare only
+// modeled time.
 func maskWallClock(t *testing.T, data []byte) string {
 	t.Helper()
 	var m map[string]float64
@@ -109,7 +111,7 @@ func maskWallClock(t *testing.T, data []byte) string {
 		t.Fatalf("tier-1 render does not parse: %v", err)
 	}
 	for k := range m {
-		if strings.HasPrefix(k, "tuner-") {
+		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") {
 			m[k] = 0
 		}
 	}

@@ -19,9 +19,10 @@ import (
 type Tier1Metric struct {
 	// ID names the probe after the experiment it samples.
 	ID string
-	// Micros is the probe's latency in microseconds: virtual (modeled)
-	// time for the experiment probes, wall time for the tuner-* serving
-	// probes.
+	// Micros is the probe's value: modeled latency in microseconds for
+	// the experiment probes, wall-clock microseconds for the tuner-*
+	// serving probes, and wall-clock states/sec for the explore-* probe
+	// (the one rate in the set, named accordingly).
 	Micros float64
 }
 
@@ -86,6 +87,14 @@ func Tier1(sc Scale) []Tier1Metric {
 		out = append(out, Tier1Metric{
 			ID:     "tuner-warm-decision-us",
 			Micros: 1e6 / rep.PerSec,
+		})
+	}
+	// Model-checker probe, also wall clock: visited engine states per
+	// second while exhausting the 4-rank dual-rail ring exploration.
+	if rate, err := ExploreStatesPerSec(); err == nil && rate > 0 {
+		out = append(out, Tier1Metric{
+			ID:     "explore-states-per-sec-4x2",
+			Micros: rate,
 		})
 	}
 	return out

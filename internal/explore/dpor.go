@@ -1,0 +1,360 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"mha/internal/sim"
+)
+
+// Dynamic partial-order reduction, stateless-search style (Flanagan &
+// Godefroid): the explorer re-executes the deterministic simulation from
+// scratch for every schedule, so "state" is an execution prefix, not a
+// snapshot. Each execution is recorded as a sequence of steps — an event
+// firing plus every process it transitively wakes until the engine
+// quiesces — together with the step's shared-state footprint and the
+// events it spawned. Two same-time steps with disjoint footprints
+// commute, so only one order of each commuting pair needs visiting;
+// race analysis over each finished execution adds backtrack choices at
+// the decision points where dependent same-time steps could have been
+// reordered, and sleep sets suppress re-exploration of subtrees an
+// earlier sibling choice already covered.
+
+// A step is one executed engine step of the current trace.
+type step struct {
+	seq    uint64
+	label  string
+	at     sim.Time
+	foot   []string // sorted shared-state keys the step touched
+	parent int      // index of the step that spawned this step's event, or -1
+	point  int      // decision-point index this step was chosen at, or -1
+}
+
+// A sleepEntry is one event (with the footprint its step exhibited) whose
+// subtree is already covered by an explored sibling branch.
+type sleepEntry struct {
+	seq uint64
+	fp  []string
+}
+
+// A point is one decision: a moment where the engine offered a frontier
+// of two or more co-enabled events. The driver keeps points across
+// executions; they form the DFS stack of the stateless search.
+type point struct {
+	at       sim.Time
+	frontier []sim.EventInfo
+	// chosen is the frontier index taken on the most recent execution
+	// through this point; done marks every index explored so far, and
+	// backtrack the indices race analysis has scheduled for exploration.
+	chosen    int
+	done      map[int]bool
+	backtrack map[int]bool
+	// stepIdx locates the chosen event's step in the current trace, and
+	// fpByChoice remembers the observed footprint of every explored
+	// choice (needed to seed sleep sets on later passes).
+	stepIdx    int
+	fpByChoice map[int][]string
+	// sleepAt is the sleep set inherited when the point was first
+	// reached; a backtrack candidate found sleeping here is redundant.
+	sleepAt []sleepEntry
+}
+
+// guided is the sim.Scheduler+StepObserver that drives one execution.
+// In driver mode it replays the forced prefix of the shared points and
+// extends them canonically; in replay mode (points == nil) it forces a
+// raw choice list and records nothing.
+type guided struct {
+	points []*point
+	prefix int // leading points whose chosen index is forced
+	record bool
+	forced []int // replay mode choice list
+
+	steps     []step
+	parentOf  map[uint64]int
+	sleep     []sleepEntry
+	nextPt    int
+	pending   int // point index whose chosen step is the next observed step
+	diverged  string
+	redundant int64 // executions that fired a sleeping event (wasted work)
+}
+
+func newGuided(points []*point, prefix int) *guided {
+	return &guided{points: points, prefix: prefix, record: true,
+		parentOf: map[uint64]int{}, pending: -1}
+}
+
+func newReplay(choices []int) *guided {
+	return &guided{forced: choices, pending: -1}
+}
+
+// Pick implements sim.Scheduler.
+func (g *guided) Pick(now sim.Time, frontier []sim.EventInfo) int {
+	d := g.nextPt
+	g.nextPt++
+	if g.points == nil && !g.record {
+		// Replay mode: force the listed choices, canonical afterwards.
+		if d < len(g.forced) {
+			c := g.forced[d]
+			if c < 0 || c >= len(frontier) {
+				if g.diverged == "" {
+					g.diverged = fmt.Sprintf("decision %d: choice %d outside %d-event frontier", d, c, len(frontier))
+				}
+				return 0
+			}
+			return c
+		}
+		return 0
+	}
+	if d < g.prefix {
+		// Forced prefix: the engine is deterministic, so the frontier must
+		// be byte-identical to the recorded one; anything else means the
+		// reduction's replay assumption broke and the run is worthless.
+		pt := g.points[d]
+		if !sameFrontier(pt.frontier, frontier) {
+			if g.diverged == "" {
+				g.diverged = fmt.Sprintf("decision %d: frontier %v diverged from recorded %v", d, frontier, pt.frontier)
+			}
+			if pt.chosen < len(frontier) {
+				return pt.chosen
+			}
+			return 0
+		}
+		g.enterPoint(pt, d)
+		return pt.chosen
+	}
+	// Fresh decision: canonical choice is the first frontier member not in
+	// the sleep set (every member is a legal serialization; a sleeping one
+	// heads a subtree an explored sibling already covers).
+	c := -1
+	for i := range frontier {
+		if !g.sleeping(frontier[i].Seq) {
+			c = i
+			break
+		}
+	}
+	if c < 0 {
+		c = 0
+		g.redundant++
+	}
+	pt := &point{
+		at:         now,
+		frontier:   append([]sim.EventInfo(nil), frontier...),
+		chosen:     c,
+		done:       map[int]bool{c: true},
+		backtrack:  map[int]bool{},
+		stepIdx:    -1,
+		fpByChoice: map[int][]string{},
+		sleepAt:    append([]sleepEntry(nil), g.sleep...),
+	}
+	if d != len(g.points) {
+		panic(fmt.Sprintf("explore: decision %d but %d points recorded", d, len(g.points)))
+	}
+	g.points = append(g.points, pt)
+	g.enterPoint(pt, d)
+	return c
+}
+
+// enterPoint marks pt as the pending decision and moves its explored
+// sibling choices into the sleep set: their subtrees from here are
+// covered, so any execution that fires them next (or any backtrack that
+// would re-add them) is redundant until a dependent step wakes them.
+func (g *guided) enterPoint(pt *point, d int) {
+	g.pending = d
+	ks := make([]int, 0, len(pt.done))
+	for k := range pt.done {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		if k == pt.chosen {
+			continue
+		}
+		if fp, ok := pt.fpByChoice[k]; ok {
+			g.sleep = append(g.sleep, sleepEntry{seq: pt.frontier[k].Seq, fp: fp})
+		}
+	}
+}
+
+func (g *guided) sleeping(seq uint64) bool {
+	for _, se := range g.sleep {
+		if se.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveStep implements sim.StepObserver.
+func (g *guided) ObserveStep(info sim.StepInfo) {
+	if !g.record {
+		return
+	}
+	idx := len(g.steps)
+	parent := -1
+	if p, ok := g.parentOf[info.Seq]; ok {
+		parent = p
+	}
+	for _, s := range info.Spawned {
+		g.parentOf[s] = idx
+	}
+	ptIdx := -1
+	if g.pending >= 0 {
+		pt := g.points[g.pending]
+		pt.stepIdx = idx
+		pt.fpByChoice[pt.chosen] = info.Footprint
+		ptIdx = g.pending
+		g.pending = -1
+	}
+	// A sleeping event stays asleep only while every executed step is
+	// independent of it; a dependent step can re-enable genuinely new
+	// orders, so the entry is dropped.
+	kept := g.sleep[:0]
+	for _, se := range g.sleep {
+		if se.seq == info.Seq {
+			g.redundant++
+			continue
+		}
+		if dependent(se.fp, info.Footprint) {
+			continue
+		}
+		kept = append(kept, se)
+	}
+	g.sleep = kept
+	g.steps = append(g.steps, step{
+		seq: info.Seq, label: info.Label, at: info.At,
+		foot: info.Footprint, parent: parent, point: ptIdx,
+	})
+}
+
+// hb reports whether step i happens-before step j through the event
+// creation chain: j's event was spawned by a step whose event was
+// spawned by ... step i. Program order is a special case — a process
+// schedules its next wake during its current step — so same-process
+// steps are always creation-chained.
+func (g *guided) hb(i, j int) bool {
+	cur := j
+	for cur > i {
+		cur = g.steps[cur].parent
+		if cur < 0 {
+			return false
+		}
+	}
+	return cur == i
+}
+
+// dependent reports whether two sorted footprints intersect.
+func dependent(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// extLabel marks events scheduled through the untyped Schedule/After
+// API; their closures may touch state the footprint instrumentation
+// cannot see, so they are conservatively dependent with everything.
+func extLabel(label string) bool { return label == "ext" }
+
+func sameFrontier(a, b []sim.EventInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Label != b[i].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func sleepHasSeq(entries []sleepEntry, seq uint64) bool {
+	for _, se := range entries {
+		if se.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// choices returns the chosen index at every decision of the trace, i.e.
+// the schedule part of a repro spec for the execution just finished.
+func (g *guided) choices() []int {
+	out := make([]int, len(g.points))
+	for i, pt := range g.points {
+		out[i] = pt.chosen
+	}
+	return out
+}
+
+// analyze runs the race analysis over the finished trace: for every step
+// j, find the most recent same-time step i that touches overlapping
+// state without being causally ordered before j, and schedule the
+// reordering at i's decision point. If j's event was already co-enabled
+// at i the reordering is a single alternative choice; otherwise every
+// alternative at i must be tried (the conservative persistent-set
+// fallback). Candidates found in i's inherited sleep set are skipped:
+// the subtree that starts with them was already explored.
+func (g *guided) analyze(m *metrics) {
+	for j := range g.steps {
+		sj := &g.steps[j]
+		for i := j - 1; i >= 0 && g.steps[i].at == sj.at; i-- {
+			si := &g.steps[i]
+			dep := dependent(si.foot, sj.foot) || extLabel(si.label) || extLabel(sj.label)
+			if !dep {
+				continue
+			}
+			if g.hb(i, j) {
+				continue
+			}
+			if si.point >= 0 {
+				pt := g.points[si.point]
+				if k, ok := frontierIndex(pt, sj.seq); ok {
+					m.precise++
+					if !pt.done[k] && !pt.backtrack[k] {
+						if sleepHasSeq(pt.sleepAt, sj.seq) {
+							m.sleepSkips++
+						} else {
+							pt.backtrack[k] = true
+							m.backtrackAdds++
+						}
+					}
+				} else {
+					m.fallback++
+					for k := range pt.frontier {
+						if k != pt.chosen && !pt.done[k] && !pt.backtrack[k] {
+							pt.backtrack[k] = true
+							m.backtrackAdds++
+						}
+					}
+				}
+			}
+			break // only the latest racing step matters for j
+		}
+	}
+}
+
+func frontierIndex(pt *point, seq uint64) (int, bool) {
+	for k, ev := range pt.frontier {
+		if ev.Seq == seq {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// metrics accumulates reduction-effectiveness counters across the
+// executions of one (variant, placement) exploration.
+type metrics struct {
+	backtrackAdds int64
+	sleepSkips    int64
+	precise       int64
+	fallback      int64
+}

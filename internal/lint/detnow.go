@@ -15,7 +15,7 @@ var detnowPass = &Pass{
 	Doc:  "forbid wall-clock time and unseeded global math/rand in simulator code",
 	Scope: scopeIn(
 		"internal/sim", "internal/mpi", "internal/sched",
-		"internal/cluster", "internal/collectives",
+		"internal/cluster", "internal/collectives", "internal/explore",
 	),
 	Run: runDetnow,
 }

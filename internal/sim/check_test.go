@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -148,5 +149,136 @@ func TestCheckQuiescentResourceAttribution(t *testing.T) {
 	r.MarkOwner("") // empty labels are ignored, not erased
 	if r.LastOwner() != "job3" {
 		t.Fatalf("empty MarkOwner overwrote label: %q", r.LastOwner())
+	}
+}
+
+// TestCheckQuiescentEdgeCases is the table-driven audit of the teardown
+// checker the explorer leans on at every terminal state: an engine with
+// nothing registered, repeated audits of the same engine, and the exact
+// owner-attributed leak message formats.
+func TestCheckQuiescentEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Engine
+		// audits is how many times CheckQuiescent is called; every call
+		// must agree (the audit is read-only, so double-teardown checks
+		// are idempotent).
+		audits int
+		want   []string // substrings required in the error ("" slice: nil error)
+	}{
+		{
+			name: "zero registered resources",
+			build: func(t *testing.T) *Engine {
+				e := NewEngine()
+				e.Spawn("lone", func(p *Proc) { p.Sleep(Microsecond) })
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return e
+			},
+			audits: 1,
+		},
+		{
+			name: "double teardown audit is idempotent",
+			build: func(t *testing.T) *Engine {
+				e := NewEngine()
+				r := e.NewResource("rail")
+				e.Spawn("user", func(p *Proc) {
+					_, end := r.Acquire(3 * Microsecond)
+					p.WaitUntil(end)
+				})
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return e
+			},
+			audits: 2,
+		},
+		{
+			name: "double teardown of a leaky run reports twice",
+			build: func(t *testing.T) *Engine {
+				e := NewEngine()
+				r := e.NewResource("rail")
+				e.Spawn("leaker", func(p *Proc) {
+					r.Acquire(5 * Microsecond) // never waits for end
+				})
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return e
+			},
+			audits: 2,
+			want:   []string{"resource rail busy until 5.000us, past end of run 0.000us"},
+		},
+		{
+			name: "owner-attributed resource leak format",
+			build: func(t *testing.T) *Engine {
+				e := NewEngine()
+				r := e.NewResource("node0.rail1.tx")
+				e.Spawn("rank3", func(p *Proc) {
+					r.Acquire(4 * Microsecond)
+					r.MarkOwner("rank3")
+				})
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return e
+			},
+			audits: 1,
+			want: []string{
+				"resource node0.rail1.tx busy until 4.000us, past end of run 0.000us (last acquired by rank3)",
+			},
+		},
+		{
+			name: "owner-attributed mailbox leak with describer",
+			build: func(t *testing.T) *Engine {
+				e := NewEngine()
+				m := e.NewMailbox("mb.r0")
+				m.SetOwner("job7")
+				e.SetItemDescriber(func(v interface{}) string { return "payload " + v.(string) })
+				e.Spawn("sender", func(p *Proc) {
+					m.PutAt(0, "x")
+					m.PutAt(0, "y")
+					p.Sleep(Microsecond)
+				})
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return e
+			},
+			audits: 1,
+			want: []string{
+				"mailbox mb.r0 holds 2 unclaimed messages (owner job7): payload x, ...",
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.build(t)
+			var first error
+			for i := 0; i < tc.audits; i++ {
+				err := e.CheckQuiescent()
+				if i == 0 {
+					first = err
+				} else if fmt.Sprint(err) != fmt.Sprint(first) {
+					t.Fatalf("audit %d disagrees with audit 1:\n%v\nvs\n%v", i+1, err, first)
+				}
+			}
+			if len(tc.want) == 0 {
+				if first != nil {
+					t.Fatalf("expected clean teardown, got %v", first)
+				}
+				return
+			}
+			if first == nil {
+				t.Fatalf("expected teardown violations %q, got nil", tc.want)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(first.Error(), w) {
+					t.Errorf("error %q\nmissing substring %q", first, w)
+				}
+			}
+		})
 	}
 }

@@ -44,6 +44,7 @@ func (c *Counter) Add(delta int64) {
 	e := c.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteLocked("ctr:" + c.name)
 	c.val += delta
 	c.releaseLocked()
 }
@@ -59,7 +60,8 @@ func (c *Counter) AddAt(at Time, delta int64) {
 	if at < e.now {
 		at = e.now
 	}
-	e.scheduleLocked(at, func() {
+	e.scheduleLabeledLocked(at, "ctr:"+c.name, func() {
+		e.noteLocked("ctr:" + c.name)
 		c.val += delta
 		c.releaseLocked()
 	})
@@ -70,6 +72,7 @@ func (c *Counter) SetAtLeast(v int64) {
 	e := c.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteLocked("ctr:" + c.name)
 	if v > c.val {
 		c.val = v
 		c.releaseLocked()
@@ -86,7 +89,7 @@ func (c *Counter) releaseLocked() {
 		if !w.released && c.val >= w.threshold {
 			w.released = true
 			w := w
-			e.scheduleLocked(e.now, func() { e.wakeLocked(w.p) })
+			e.scheduleLabeledLocked(e.now, "proc:"+w.p.name, func() { e.wakeLocked(w.p) })
 		} else {
 			kept = append(kept, w)
 		}
@@ -102,6 +105,7 @@ func (c *Counter) WaitGE(p *Proc, threshold int64) {
 		panic("sim: WaitGE across engines")
 	}
 	e.mu.Lock()
+	e.noteLocked("ctr:" + c.name)
 	if c.val >= threshold {
 		e.mu.Unlock()
 		return

@@ -47,13 +47,14 @@ func (m *Mailbox) PutAt(at Time, v interface{}) {
 	if at < e.now {
 		at = e.now
 	}
-	e.scheduleLocked(at, func() { m.depositLocked(v) })
+	e.scheduleLabeledLocked(at, "mbox:"+m.name, func() { m.depositLocked(v) })
 }
 
 // depositLocked runs as an event at the arrival time: hand the item to the
 // first waiting matcher (FIFO) or queue it. Caller holds the engine lock;
 // at most one process is woken, preserving determinism.
 func (m *Mailbox) depositLocked(v interface{}) {
+	m.eng.noteLocked("mbox:" + m.name)
 	m.arrived++
 	for _, w := range m.waiters {
 		if !w.found && w.match(v) {
@@ -85,6 +86,7 @@ func (m *Mailbox) Get(p *Proc, what string, match func(interface{}) bool) interf
 		panic("sim: Get across engines")
 	}
 	e.mu.Lock()
+	e.noteLocked("mbox:" + m.name)
 	for i, it := range m.items {
 		if match(it.v) {
 			m.items = append(m.items[:i], m.items[i+1:]...)
@@ -103,6 +105,7 @@ func (m *Mailbox) Get(p *Proc, what string, match func(interface{}) bool) interf
 func (m *Mailbox) TryGet(match func(interface{}) bool) (interface{}, bool) {
 	m.eng.mu.Lock()
 	defer m.eng.mu.Unlock()
+	m.eng.noteLocked("mbox:" + m.name)
 	for i, it := range m.items {
 		if match(it.v) {
 			m.items = append(m.items[:i], m.items[i+1:]...)

@@ -91,6 +91,7 @@ func (r *Resource) Acquire(d Duration) (start, end Time) {
 	e := r.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteLocked("res:" + r.name)
 	start = e.now
 	if r.freeAt > start {
 		start = r.freeAt
@@ -111,6 +112,7 @@ func (r *Resource) AcquireAfter(notBefore Time, d Duration) (start, end Time) {
 	e := r.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteLocked("res:" + r.name)
 	start = e.now
 	if notBefore > start {
 		start = notBefore
@@ -144,6 +146,7 @@ func AcquireTogether(d Duration, rs ...*Resource) (start, end Time) {
 		if r.eng != e {
 			panic("sim: AcquireTogether across engines")
 		}
+		e.noteLocked("res:" + r.name)
 		if r.freeAt > start {
 			start = r.freeAt
 		}
@@ -182,6 +185,7 @@ func AcquireHetero(ds []Duration, rs ...*Resource) (start, end Time) {
 		if r.eng != e {
 			panic("sim: AcquireHetero across engines")
 		}
+		e.noteLocked("res:" + r.name)
 		if r.freeAt > start {
 			start = r.freeAt
 		}
@@ -221,10 +225,14 @@ func (r *Resource) LastOwner() string {
 	return r.lastOwner
 }
 
-// FreeAt reports when the resource next becomes idle.
+// FreeAt reports when the resource next becomes idle. Mid-run callers
+// (placement policies) make decisions from the value, so it counts
+// toward the step footprint; BusyTime/Uses are post-run statistics and
+// deliberately do not.
 func (r *Resource) FreeAt() Time {
 	r.eng.mu.Lock()
 	defer r.eng.mu.Unlock()
+	r.eng.noteLocked("res:" + r.name)
 	return r.freeAt
 }
 
@@ -264,6 +272,7 @@ func (g *Gauge) Inc() int {
 	e := g.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteLocked("gauge:" + g.name)
 	g.val++
 	if g.val > g.peak {
 		g.peak = g.val
@@ -279,7 +288,8 @@ func (g *Gauge) DecAt(at Time) {
 	if at < e.now {
 		at = e.now
 	}
-	e.scheduleLocked(at, func() {
+	e.scheduleLabeledLocked(at, "gauge:"+g.name, func() {
+		e.noteLocked("gauge:" + g.name)
 		g.val--
 		if g.val < 0 {
 			panic(fmt.Sprintf("sim: gauge %s went negative", g.name))
@@ -291,6 +301,7 @@ func (g *Gauge) DecAt(at Time) {
 func (g *Gauge) Value() int {
 	g.eng.mu.Lock()
 	defer g.eng.mu.Unlock()
+	g.eng.noteLocked("gauge:" + g.name)
 	return g.val
 }
 

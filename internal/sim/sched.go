@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// The scheduler seam.
+//
+// The engine's canonical order fires simultaneous events by ascending
+// sequence number. That is one legal serialization of the frontier of
+// co-enabled events, but any permutation of same-time events is equally
+// legal under the simulation's semantics: virtual time cannot move
+// backwards, so the ONLY nondeterminism a real system would exhibit that
+// the canonical order hides is the ordering of events that share a fire
+// time. A Scheduler makes that choice explicit and pluggable, which is
+// what lets internal/explore enumerate the interleaving space.
+//
+// Contract: Pick is called with the engine lock held and the full
+// frontier of minimum-time events, ordered by ascending sequence number
+// (index 0 is the canonical choice). It must return an index into
+// frontier without calling back into the engine, blocking, or retaining
+// the slice past the call. Virtual time semantics (durations, resource
+// queueing) are unaffected by the choice; only the serialization order
+// of simultaneous events changes.
+
+// EventInfo identifies one co-enabled event offered to a Scheduler.
+type EventInfo struct {
+	// Seq is the event's engine-wide schedule sequence number. Within one
+	// run it is unique; across runs it is stable only while the executed
+	// prefix is identical (replay determinism).
+	Seq uint64
+	// Label names what the event acts on: "proc:NAME" for a process
+	// wake, "mbox:NAME" for a message arrival, "ctr:NAME" for a counter
+	// advance, "gauge:NAME" for a gauge decrement, "ext" for events
+	// scheduled through the public Schedule/After API.
+	Label string
+}
+
+// A Scheduler chooses which of several co-enabled (same virtual time)
+// events fires next. Returning 0 everywhere reproduces the engine's
+// canonical order exactly.
+type Scheduler interface {
+	Pick(now Time, frontier []EventInfo) int
+}
+
+// StepInfo describes one executed step: the event that fired plus
+// everything that ran before the engine quiesced again (the woken
+// processes run until they all block). Schedulers that also implement
+// StepObserver receive one StepInfo per step, in execution order.
+type StepInfo struct {
+	// Seq and Label identify the event that initiated the step.
+	Seq   uint64
+	Label string
+	// At is the virtual time the step executed at.
+	At Time
+	// Footprint is the sorted set of shared-state keys the step touched:
+	// "proc:NAME", "res:NAME", "mbox:NAME", "ctr:NAME", "gauge:NAME".
+	// Two steps with disjoint footprints commute: executing them in
+	// either order yields the same terminal state.
+	Footprint []string
+	// Spawned lists the sequence numbers of events scheduled during the
+	// step, in creation order. They are causally after this step.
+	Spawned []uint64
+}
+
+// A StepObserver receives the dependency footprint of every executed
+// step. ObserveStep is called with the engine lock held and must not
+// call back into the engine.
+type StepObserver interface {
+	ObserveStep(StepInfo)
+}
+
+// SetScheduler installs a scheduling strategy for simultaneous events.
+// It must be called before Run; a nil Scheduler keeps the canonical
+// order. If s also implements StepObserver the engine collects and
+// reports per-step dependency footprints (off otherwise — the canonical
+// path pays nothing for the seam).
+func (e *Engine) SetScheduler(s Scheduler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("sim: SetScheduler after Run")
+	}
+	e.sched = s
+	e.obs, e.collect = s.(StepObserver)
+}
+
+// nextEventLocked pops the event to fire next. With no scheduler (or a
+// singleton frontier) it is exactly heap.Pop. Otherwise it pops the
+// whole minimum-time frontier, asks the scheduler to choose, and pushes
+// the rest back.
+func (e *Engine) nextEventLocked() *event {
+	ev := heap.Pop(&e.events).(*event)
+	if e.sched == nil || e.events.Len() == 0 || e.events[0].at != ev.at {
+		return ev
+	}
+	batch := []*event{ev}
+	for e.events.Len() > 0 && e.events[0].at == ev.at {
+		batch = append(batch, heap.Pop(&e.events).(*event))
+	}
+	frontier := make([]EventInfo, len(batch))
+	for i, b := range batch {
+		frontier[i] = EventInfo{Seq: b.seq, Label: b.label}
+	}
+	k := e.sched.Pick(ev.at, frontier)
+	if k < 0 || k >= len(batch) {
+		panic(fmt.Sprintf("sim: scheduler picked index %d of a %d-event frontier", k, len(batch)))
+	}
+	for i, b := range batch {
+		if i != k {
+			heap.Push(&e.events, b)
+		}
+	}
+	return batch[k]
+}
+
+// beginStepLocked opens footprint collection for the step initiated by
+// ev. No-op unless a StepObserver is installed.
+func (e *Engine) beginStepLocked(ev *event) {
+	if !e.collect {
+		return
+	}
+	e.stepOpen = true
+	e.stepSeq = ev.seq
+	e.stepLabel = ev.label
+	e.stepAt = ev.at
+	e.foot = e.foot[:0]
+	e.spawned = e.spawned[:0]
+}
+
+// flushStepLocked closes the open step, if any, and delivers its
+// StepInfo to the observer. Called when the engine quiesces (all
+// processes blocked again) before the next event is chosen.
+func (e *Engine) flushStepLocked() {
+	if !e.stepOpen {
+		return
+	}
+	e.stepOpen = false
+	fp := make([]string, len(e.foot))
+	copy(fp, e.foot)
+	sort.Strings(fp)
+	var sp []uint64
+	if len(e.spawned) > 0 {
+		sp = make([]uint64, len(e.spawned))
+		copy(sp, e.spawned)
+	}
+	e.obs.ObserveStep(StepInfo{Seq: e.stepSeq, Label: e.stepLabel, At: e.stepAt, Footprint: fp, Spawned: sp})
+}
+
+// noteLocked records that the current step touched the shared-state key.
+// Footprints are tiny (a handful of keys per step), so a linear-scan
+// dedup on a slice beats a map and keeps iteration order deterministic.
+func (e *Engine) noteLocked(key string) {
+	if !e.stepOpen {
+		return
+	}
+	for _, k := range e.foot {
+		if k == key {
+			return
+		}
+	}
+	e.foot = append(e.foot, key)
+}

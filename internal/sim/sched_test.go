@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// canonicalSched always picks index 0: the engine's own order.
+type canonicalSched struct{}
+
+func (canonicalSched) Pick(now Time, frontier []EventInfo) int { return 0 }
+
+// lastSched always picks the highest-seq frontier member, maximally
+// perturbing the canonical order.
+type lastSched struct{ picks int }
+
+func (s *lastSched) Pick(now Time, frontier []EventInfo) int {
+	s.picks++
+	return len(frontier) - 1
+}
+
+// recordingSched picks canonically and records every step footprint.
+type recordingSched struct {
+	frontiers [][]EventInfo
+	steps     []StepInfo
+}
+
+func (s *recordingSched) Pick(now Time, frontier []EventInfo) int {
+	cp := make([]EventInfo, len(frontier))
+	copy(cp, frontier)
+	s.frontiers = append(s.frontiers, cp)
+	return 0
+}
+
+func (s *recordingSched) ObserveStep(info StepInfo) { s.steps = append(s.steps, info) }
+
+// raceWorld builds a two-proc scenario where both processes wake at the
+// same virtual time and append their name to order.
+func raceWorld(order *[]string, sched Scheduler) *Engine {
+	e := NewEngine()
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(5 * Microsecond)
+			*order = append(*order, name)
+		})
+	}
+	if sched != nil {
+		e.SetScheduler(sched)
+	}
+	return e
+}
+
+func TestSchedulerCanonicalPickMatchesDefault(t *testing.T) {
+	var defOrder, canOrder []string
+	if err := raceWorld(&defOrder, nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := raceWorld(&canOrder, canonicalSched{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(defOrder) != fmt.Sprint(canOrder) {
+		t.Fatalf("canonical scheduler diverged from default: %v vs %v", defOrder, canOrder)
+	}
+}
+
+func TestSchedulerReordersSameTimeEvents(t *testing.T) {
+	// Both start events are co-enabled at t=0; picking the last frontier
+	// member must run proc b before proc a.
+	var order []string
+	e := NewEngine()
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			order = append(order, name)
+		})
+	}
+	s := &lastSched{}
+	e.SetScheduler(s)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[b a]" {
+		t.Fatalf("pick-last scheduler should reverse same-time starts, got %v", order)
+	}
+	if s.picks == 0 {
+		t.Fatal("scheduler was never consulted")
+	}
+}
+
+func TestSchedulerSeesLabeledFrontier(t *testing.T) {
+	var order []string
+	s := &recordingSched{}
+	if err := raceWorld(&order, s).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both the start events (t=0) and the wakes (t=5us) are two-element
+	// frontiers labeled with the proc names.
+	if len(s.frontiers) < 2 {
+		t.Fatalf("expected at least 2 multi-event frontiers, got %d", len(s.frontiers))
+	}
+	for _, f := range s.frontiers {
+		if len(f) != 2 || f[0].Label != "proc:a" || f[1].Label != "proc:b" {
+			t.Fatalf("unexpected frontier %v", f)
+		}
+		if f[0].Seq >= f[1].Seq {
+			t.Fatalf("frontier not in seq order: %v", f)
+		}
+	}
+}
+
+func TestStepObserverFootprints(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("rail0")
+	m := e.NewMailbox("mb")
+	e.Spawn("send", func(p *Proc) {
+		_, end := r.Acquire(2 * Microsecond)
+		m.PutAt(end, "hello")
+		p.WaitUntil(end)
+	})
+	e.Spawn("recv", func(p *Proc) {
+		m.Get(p, "msg", func(interface{}) bool { return true })
+	})
+	s := &recordingSched{}
+	e.SetScheduler(s)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	spawnedAny := false
+	for _, st := range s.steps {
+		joined += st.Label + "{" + strings.Join(st.Footprint, ",") + "} "
+		if len(st.Spawned) > 0 {
+			spawnedAny = true
+		}
+	}
+	for _, want := range []string{"res:rail0", "mbox:mb", "proc:send", "proc:recv"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no step footprint mentions %s: %s", want, joined)
+		}
+	}
+	if !spawnedAny {
+		t.Errorf("no step reported spawned events: %s", joined)
+	}
+	// The sender's start step acquires the rail and schedules the
+	// deposit; the deposit step must carry the mailbox key and the woken
+	// receiver's proc key together (that is the dependency DPOR keys on).
+	foundDeposit := false
+	for _, st := range s.steps {
+		fp := strings.Join(st.Footprint, ",")
+		if st.Label == "mbox:mb" && strings.Contains(fp, "mbox:mb") && strings.Contains(fp, "proc:recv") {
+			foundDeposit = true
+		}
+	}
+	if !foundDeposit {
+		t.Errorf("deposit step footprint missing mailbox+receiver keys: %s", joined)
+	}
+}
+
+func TestSetSchedulerAfterRunPanics(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetScheduler after Run did not panic")
+		}
+	}()
+	e.SetScheduler(canonicalSched{})
+}

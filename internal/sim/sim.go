@@ -76,11 +76,13 @@ func TransferTime(alpha Duration, n int, bw float64) Duration {
 }
 
 // An event is a scheduled callback. Events with equal fire times execute in
-// the order they were scheduled (seq).
+// the order they were scheduled (seq) unless a Scheduler (sched.go) picks
+// a different serialization of the same-time frontier.
 type event struct {
-	at   Time
-	seq  uint64
-	fire func()
+	at    Time
+	seq   uint64
+	label string // what the event acts on, for Scheduler frontiers
+	fire  func()
 }
 
 type eventHeap []*event
@@ -126,6 +128,19 @@ type Engine struct {
 	mailboxes []*Mailbox
 	watcher   ClockWatcher
 	describe  func(interface{}) string
+
+	// Scheduler seam (see sched.go): an optional strategy for ordering
+	// same-time events, and per-step footprint collection state used when
+	// the strategy also observes steps.
+	sched     Scheduler
+	obs       StepObserver
+	collect   bool
+	stepOpen  bool
+	stepSeq   uint64
+	stepLabel string
+	stepAt    Time
+	foot      []string
+	spawned   []uint64
 }
 
 // NewEngine returns an empty simulation.
@@ -209,13 +224,14 @@ func (e *Engine) Run() error {
 		p := p
 		//lint:ignore gonosim engine-owned worker goroutine: runProc is the primitive behind Spawn, and the start event below serializes it deterministically
 		go e.runProc(p)
-		e.scheduleLocked(e.now, func() { e.wakeLocked(p) })
+		e.scheduleLabeledLocked(e.now, "proc:"+p.name, func() { e.wakeLocked(p) })
 	}
 
 	for {
 		for e.runnable > 0 && e.failure == nil {
 			e.quiesce.Wait()
 		}
+		e.flushStepLocked() // the previous step is complete: report it
 		if e.failure != nil {
 			return e.failure
 		}
@@ -225,13 +241,14 @@ func (e *Engine) Run() error {
 		if e.events.Len() == 0 {
 			return e.deadlockErrorLocked()
 		}
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.nextEventLocked()
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", ev.at, e.now))
 		}
 		if e.watcher != nil && ev.at > e.now {
 			e.watcher(e.now, ev.at)
 		}
+		e.beginStepLocked(ev)
 		e.now = ev.at
 		e.fired++
 		ev.fire() // runs with e.mu held; may wake at most a bounded set of procs
@@ -284,9 +301,21 @@ func (e *Engine) runProc(p *Proc) {
 }
 
 // scheduleLocked enqueues fire to run at time at. Caller holds e.mu.
+// Events scheduled through this untyped path carry the conservative
+// "ext" label (a Scheduler must assume they touch anything).
 func (e *Engine) scheduleLocked(at Time, fire func()) {
+	e.scheduleLabeledLocked(at, "ext", fire)
+}
+
+// scheduleLabeledLocked enqueues fire with an explicit frontier label.
+// Caller holds e.mu. When a step is open the new event is recorded as
+// spawned by it, establishing the causal edge DPOR needs.
+func (e *Engine) scheduleLabeledLocked(at Time, label string, fire func()) {
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fire: fire})
+	if e.stepOpen {
+		e.spawned = append(e.spawned, e.seq)
+	}
+	heap.Push(&e.events, &event{at: at, seq: e.seq, label: label, fire: fire})
 }
 
 // Schedule enqueues fire to run at virtual time at (>= now). fire executes
@@ -315,6 +344,9 @@ func (e *Engine) wakeLocked(p *Proc) {
 	if p.done {
 		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
 	}
+	// A woken process runs inside the current step, so everything its
+	// rank-local state does is attributed to the step via its proc key.
+	e.noteLocked("proc:" + p.name)
 	e.runnable++
 	p.state = "running"
 	p.wake <- struct{}{}
@@ -341,7 +373,7 @@ func (p *Proc) WaitUntil(t Time) {
 		e.mu.Unlock()
 		return
 	}
-	e.scheduleLocked(t, func() { e.wakeLocked(p) })
+	e.scheduleLabeledLocked(t, "proc:"+p.name, func() { e.wakeLocked(p) })
 	e.block(p, fmt.Sprintf("sleeping until %v", t))
 }
 
@@ -353,7 +385,7 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	e := p.eng
 	e.mu.Lock()
-	e.scheduleLocked(e.now+Time(d), func() { e.wakeLocked(p) })
+	e.scheduleLabeledLocked(e.now+Time(d), "proc:"+p.name, func() { e.wakeLocked(p) })
 	e.block(p, fmt.Sprintf("sleeping %v", d))
 }
 
@@ -362,7 +394,7 @@ func (p *Proc) Sleep(d Duration) {
 func (p *Proc) Yield() {
 	e := p.eng
 	e.mu.Lock()
-	e.scheduleLocked(e.now, func() { e.wakeLocked(p) })
+	e.scheduleLabeledLocked(e.now, "proc:"+p.name, func() { e.wakeLocked(p) })
 	e.block(p, "yielding")
 }
 

@@ -86,11 +86,13 @@ func Campaign(n int, seed int64, opt Options) (*Report, error) {
 		}
 		f := Failure{Scenario: sc, Shrunk: sc, Violations: vs}
 		if !opt.NoShrink {
-			shrunk, used := Shrink(sc, opt.ShrinkBudget)
+			// Shrink reports the kept scenario's violations itself, so the
+			// documented "candidate evaluations per failure" budget is
+			// exact: no trailing re-Check of the shrunk scenario.
+			shrunk, svs, used := Shrink(sc, vs, opt.ShrinkBudget)
 			rep.Checks += used
 			f.Shrunk = shrunk
-			f.Violations = Check(shrunk)
-			rep.Checks++
+			f.Violations = svs
 		}
 		rep.Failures = append(rep.Failures, f)
 		if opt.Log != nil {

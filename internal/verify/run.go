@@ -31,27 +31,34 @@ func patByte(r, i int) byte { return byte(r*131 + i*7 + 3) }
 // corrupt every block of every rank.
 const maxOracleReports = 8
 
-// runResult is one execution of a scenario.
-type runResult struct {
-	makespan   sim.Time
-	hash       uint64
-	violations []Violation
+// RunResult is one execution of a scenario.
+type RunResult struct {
+	// Makespan is the virtual time the run finished at.
+	Makespan sim.Time
+	// Hash fingerprints the run's event timeline (for determinism checks).
+	Hash uint64
+	// Violations holds every broken property; empty means the run passed.
+	Violations []Violation
 }
 
-// runOnce executes the scenario with real payloads and full instrumentation:
-// the differential oracle on every rank's receive buffer, the clock-advance
-// watcher, and the teardown audit. Panics anywhere in the run (including
-// world construction) become "run" violations.
-func runOnce(sc Scenario) (res runResult) {
+// RunOnce executes the scenario with real payloads and full
+// instrumentation: the differential oracle on every rank's receive
+// buffer, the clock-advance watcher, and the teardown audit. Panics
+// anywhere in the run (including world construction) become "run"
+// violations. If install is non-nil it is called with the constructed
+// world before any rank runs — internal/explore uses the hook to attach
+// a sim.Scheduler to the engine, sharing this oracle across the
+// randomized campaign and the exhaustive explorer.
+func RunOnce(sc Scenario, install func(*mpi.World)) (res RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			res.violations = append(res.violations,
+			res.Violations = append(res.Violations,
 				Violation{Kind: "run", Detail: fmt.Sprintf("panic: %v", r)})
 		}
 	}()
 	alg, ok := ByName(sc.Alg)
 	if !ok {
-		return runResult{violations: []Violation{{Kind: "spec", Detail: "unknown algorithm " + sc.Alg}}}
+		return RunResult{Violations: []Violation{{Kind: "spec", Detail: "unknown algorithm " + sc.Alg}}}
 	}
 	rec := trace.New()
 	w := mpi.New(mpi.Config{
@@ -76,6 +83,9 @@ func runOnce(sc Scenario) (res runResult) {
 		}
 		lastTo = to
 	})
+	if install != nil {
+		install(w)
+	}
 
 	n := sc.Topo().Size()
 	m := sc.Msg
@@ -113,18 +123,18 @@ func runOnce(sc Scenario) (res runResult) {
 		}
 	})
 	if err != nil {
-		res.violations = append(res.violations, Violation{Kind: "run", Detail: err.Error()})
+		res.Violations = append(res.Violations, Violation{Kind: "run", Detail: err.Error()})
 	} else if terr := w.VerifyTeardown(); terr != nil {
-		res.violations = append(res.violations, Violation{Kind: "invariant", Detail: terr.Error()})
+		res.Violations = append(res.Violations, Violation{Kind: "invariant", Detail: terr.Error()})
 	}
 	for _, s := range clockBad {
-		res.violations = append(res.violations, Violation{Kind: "monotonic", Detail: s})
+		res.Violations = append(res.Violations, Violation{Kind: "monotonic", Detail: s})
 	}
 	for _, s := range oracle {
-		res.violations = append(res.violations, Violation{Kind: "oracle", Detail: s})
+		res.Violations = append(res.Violations, Violation{Kind: "oracle", Detail: s})
 	}
-	res.makespan = w.Engine().Stats().Now
-	res.hash = rec.Hash()
+	res.Makespan = w.Engine().Stats().Now
+	res.Hash = rec.Hash()
 	return res
 }
 
@@ -136,15 +146,15 @@ func Check(sc Scenario) []Violation {
 	if err := sc.Validate(); err != nil {
 		return []Violation{{Kind: "spec", Detail: err.Error()}}
 	}
-	r1 := runOnce(sc)
-	r2 := runOnce(sc)
-	out := r1.violations
-	if r1.hash != r2.hash {
+	r1 := RunOnce(sc, nil)
+	r2 := RunOnce(sc, nil)
+	out := r1.Violations
+	if r1.Hash != r2.Hash {
 		out = append(out, Violation{Kind: "determinism",
-			Detail: fmt.Sprintf("trace hash %#x vs %#x across identical runs", r1.hash, r2.hash)})
-	} else if r1.makespan != r2.makespan {
+			Detail: fmt.Sprintf("trace hash %#x vs %#x across identical runs", r1.Hash, r2.Hash)})
+	} else if r1.Makespan != r2.Makespan {
 		out = append(out, Violation{Kind: "determinism",
-			Detail: fmt.Sprintf("makespan %v vs %v across identical runs", r1.makespan, r2.makespan)})
+			Detail: fmt.Sprintf("makespan %v vs %v across identical runs", r1.Makespan, r2.Makespan)})
 	}
 	return out
 }

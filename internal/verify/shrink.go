@@ -8,12 +8,16 @@ import (
 // Shrink greedily minimizes a failing scenario: it repeatedly tries the
 // candidate reductions below (most aggressive first), keeps the first one
 // that still fails Check, and stops at a fixed point or after budget
-// candidate evaluations. It returns the smallest failing scenario found
-// and the number of candidates evaluated. Every reduction strictly
+// candidate evaluations. vs must be the violations sc already exhibited;
+// Shrink returns the smallest failing scenario found, that scenario's
+// violations (remembered from the candidate evaluation that kept it, so
+// callers never need an extra Check beyond the budget), and the number of
+// candidates evaluated — always <= budget, and with budget <= 0 the
+// original scenario comes straight back. Every reduction strictly
 // decreases some component (fault count, nodes, ppn, rails, sockets,
 // message size, jitter, blindness, layout, seed), so the loop terminates.
-func Shrink(sc Scenario, budget int) (Scenario, int) {
-	cur := sc
+func Shrink(sc Scenario, vs []Violation, budget int) (Scenario, []Violation, int) {
+	cur, curVs := sc, vs
 	used := 0
 	for used < budget {
 		improved := false
@@ -25,8 +29,8 @@ func Shrink(sc Scenario, budget int) (Scenario, int) {
 				continue
 			}
 			used++
-			if len(Check(cand)) > 0 {
-				cur = cand
+			if cvs := Check(cand); len(cvs) > 0 {
+				cur, curVs = cand, cvs
 				improved = true
 				break
 			}
@@ -35,7 +39,7 @@ func Shrink(sc Scenario, budget int) (Scenario, int) {
 			break
 		}
 	}
-	return cur, used
+	return cur, curVs, used
 }
 
 // candidates proposes one-step reductions of sc, most aggressive first.

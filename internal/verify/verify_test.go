@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -171,12 +172,76 @@ func TestParseSpecRejectsGarbage(t *testing.T) {
 func TestShrinkFixedPoint(t *testing.T) {
 	Register(Algorithm{Name: "broken-ring", Run: brokenRing})
 	min := Scenario{Alg: "broken-ring", Nodes: 1, PPN: 2, HCAs: 1, Msg: 1, Seed: 1}
-	if len(Check(min)) == 0 {
+	vs := Check(min)
+	if len(vs) == 0 {
 		t.Fatal("expected the minimal broken-ring scenario to fail")
 	}
-	shrunk, _ := Shrink(min, 100)
+	shrunk, _, _ := Shrink(min, vs, 100)
 	if shrunk.Spec() != min.Spec() {
 		t.Fatalf("shrinking a minimal scenario changed it: %s -> %s", min.Spec(), shrunk.Spec())
+	}
+}
+
+// TestShrinkRespectsBudget: the budget is documented as "candidate
+// evaluations per failure" — Shrink must never evaluate more candidates
+// than that, a budget of 1 must hand back a scenario without panicking
+// or looping, and the returned violations must belong to the returned
+// scenario without costing an extra evaluation.
+func TestShrinkRespectsBudget(t *testing.T) {
+	Register(Algorithm{Name: "broken-ring", Run: brokenRing})
+	// A deliberately non-minimal failing scenario so shrinking has work.
+	sc := Scenario{Alg: "broken-ring", Nodes: 2, PPN: 4, HCAs: 2, Msg: 64, Seed: 7}
+	vs := Check(sc)
+	if len(vs) == 0 {
+		t.Fatal("expected the broken-ring scenario to fail")
+	}
+	for _, budget := range []int{0, 1, 2, 5, 40} {
+		shrunk, svs, used := Shrink(sc, vs, budget)
+		if used > budget {
+			t.Errorf("budget %d: Shrink evaluated %d candidates", budget, used)
+		}
+		if err := shrunk.Validate(); err != nil {
+			t.Errorf("budget %d: shrunk scenario invalid: %v", budget, err)
+		}
+		if len(svs) == 0 {
+			t.Errorf("budget %d: shrunk scenario %s reported no violations", budget, shrunk.Spec())
+		}
+		if got := Check(shrunk); len(got) == 0 {
+			t.Errorf("budget %d: returned scenario %s does not actually fail", budget, shrunk.Spec())
+		}
+	}
+	// With no budget at all the original scenario must come straight back.
+	shrunk, svs, used := Shrink(sc, vs, 0)
+	if shrunk.Spec() != sc.Spec() || used != 0 {
+		t.Errorf("budget 0 shrank %s to %s (used %d)", sc.Spec(), shrunk.Spec(), used)
+	}
+	if fmt.Sprint(svs) != fmt.Sprint(vs) {
+		t.Errorf("budget 0 changed violations: %v vs %v", svs, vs)
+	}
+}
+
+// TestCampaignChecksStayWithinShrinkBudget: the campaign's accounting
+// must show at most ShrinkBudget extra checks per failure — the old
+// implementation spent budget+1 by re-checking the shrunk scenario.
+func TestCampaignChecksStayWithinShrinkBudget(t *testing.T) {
+	Register(Algorithm{Name: "broken-ring", Run: brokenRing})
+	const n, budget = 6, 1
+	rep, err := Campaign(n, 99, Options{Algs: []string{"broken-ring"}, ShrinkBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("broken-ring campaign found no failures")
+	}
+	maxChecks := n + len(rep.Failures)*budget
+	if rep.Checks > maxChecks {
+		t.Errorf("campaign spent %d checks; budget allows at most %d (%d scenarios + %d failures * %d)",
+			rep.Checks, maxChecks, n, len(rep.Failures), budget)
+	}
+	for _, f := range rep.Failures {
+		if len(f.Violations) == 0 {
+			t.Errorf("failure %s carries no violations", f.Shrunk.Spec())
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"mha/internal/cluster"
 	"mha/internal/collectives"
 	"mha/internal/core"
+	"mha/internal/explore"
 	"mha/internal/faults"
 	"mha/internal/machines"
 	"mha/internal/mpi"
@@ -429,6 +430,54 @@ func VerifyCampaign(n int, seed int64) error {
 		fmt.Fprintf(&b, "\n  %s", f.Shrunk.Spec())
 	}
 	return fmt.Errorf("%s", b.String())
+}
+
+// Exhaustive exploration: the DPOR model checker for small worlds (see
+// cmd/mhaexplore and DESIGN.md section 12). Where the verification
+// campaign samples scenarios at random, Explore enumerates every
+// meaningfully distinct interleaving of same-virtual-time events — and,
+// with a fault budget, every single-rail-fault placement — checking the
+// byte-exact oracle and the teardown audits at every terminal state.
+type (
+	// ExploreOptions selects the variants, world shape, and budgets of
+	// an exhaustive exploration.
+	ExploreOptions = explore.Options
+	// ExploreReport summarizes an exploration: executions visited,
+	// engine steps, the unreduced interleaving estimate, completeness,
+	// and any counterexamples (each with a shrunk one-line repro spec).
+	ExploreReport = explore.Report
+)
+
+// Explore exhaustively verifies the selected variants on a small world,
+// visiting every meaningfully distinct event interleaving per fault
+// placement. Worlds are capped at 8 ranks; the report is deterministic.
+func Explore(opt ExploreOptions) (*ExploreReport, error) {
+	return explore.Run(opt)
+}
+
+// ExploreReplay replays one explored schedule given as the explorer's
+// one-line repro spec format, e.g.
+//
+//	alg=ring nodes=2 ppn=2 hcas=2 msg=8 fault=node0.rail1 sched=0.2.1
+//
+// and returns an error describing every violated property, or nil.
+func ExploreReplay(spec string) error {
+	s, err := explore.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	vs, err := explore.Replay(s)
+	if err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("mha: schedule %q failed verification: %s", s, strings.Join(msgs, "; "))
 }
 
 // Multi-tenant cluster scheduling: a stream of collective jobs admitted

@@ -224,6 +224,24 @@ func TestPublicFaultInjection(t *testing.T) {
 	}
 }
 
+func TestPublicExploration(t *testing.T) {
+	rep, err := mha.Explore(mha.ExploreOptions{
+		Algs: []string{"ring"}, Nodes: 2, PPN: 1, HCAs: 2, Msg: 4, FaultBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Counterexamples != 0 {
+		t.Fatalf("exhaustive ring exploration unexpectedly dirty: %+v", rep)
+	}
+	if err := mha.ExploreReplay("alg=ring nodes=1 ppn=2 hcas=1 msg=4 fault=none sched=canonical"); err != nil {
+		t.Fatalf("canonical schedule failed: %v", err)
+	}
+	if err := mha.ExploreReplay("alg=ring nodes=4 ppn=4"); err == nil {
+		t.Fatal("16-rank spec accepted past the exhaustive limit")
+	}
+}
+
 func TestPublicVerification(t *testing.T) {
 	if err := mha.VerifyScenarioSpec("alg=mha nodes=2 ppn=2 hcas=2 msg=257 faults=none"); err != nil {
 		t.Fatalf("healthy scenario failed: %v", err)
