@@ -1,0 +1,267 @@
+// Command mhacompose works with compositional collectives (the
+// internal/compose layer): declarative pipelines of multicast / reduce /
+// fence primitives over a machine hierarchy, compiled to the schedule
+// IR. It prints the standard compositions and the hierarchy a machine
+// spec induces, lowers a composition to the IR, prices and checks the
+// lowered schedule with the static analyzer, and runs a registered
+// derived variant on the simulated MPI runtime under the byte-exact
+// verification oracle.
+//
+// Usage:
+//
+//	mhacompose list                                         # registered derived variants
+//	mhacompose describe -coll reduce-scatter                # pipeline + hierarchy levels
+//	mhacompose lower -coll alltoall -nodes 4 -ppn 4 -msg 4096   # schedule IR on stdout
+//	mhacompose analyze -coll reduce-scatter -flat -msg 65536    # analyzer report
+//	mhacompose run -name compose-rs -nodes 2 -ppn 4 -msg 1024   # execute + verify bytes
+//	mhacompose lower -f pipeline.txt -nodes 2 -ppn 2            # custom composition file
+//
+// The exit status is 0 on success; analyzer violations and verification
+// mismatches exit 1, so scripts can gate on derivation validity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mha/internal/compose"
+	"mha/internal/netmodel"
+	"mha/internal/sched"
+	"mha/internal/topology"
+	"mha/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "describe":
+		err = cmdDescribe(os.Args[2:])
+	case "lower":
+		err = cmdLower(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mhacompose: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mhacompose: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mhacompose <subcommand> [flags]
+
+subcommands:
+  list      show the registered derived variants and their pipelines
+  describe  print a composition's pipeline and the machine hierarchy
+  lower     compile a composition to the schedule IR (text on stdout)
+  analyze   lower, then check invariants and price the critical path
+  run       execute a registered variant with the byte-exact oracle
+
+run 'mhacompose <subcommand> -h' for that subcommand's flags.
+`)
+}
+
+// topoFlags registers the machine-shape flags on fs and returns a
+// constructor to call after parsing.
+func topoFlags(fs *flag.FlagSet) func() (topology.Cluster, error) {
+	nodes := fs.Int("nodes", 2, "number of nodes")
+	ppn := fs.Int("ppn", 2, "processes per node")
+	hcas := fs.Int("hcas", 2, "network rails per node")
+	sockets := fs.Int("sockets", 0, "NUMA sockets per node (0 = uniform)")
+	layout := fs.String("layout", "block", "rank layout: block or cyclic")
+	return func() (topology.Cluster, error) {
+		c := topology.New(*nodes, *ppn, *hcas)
+		c.Sockets = *sockets
+		switch *layout {
+		case "block":
+		case "cyclic":
+			c.Layout = topology.Cyclic
+		default:
+			return c, fmt.Errorf("unknown layout %q (want block or cyclic)", *layout)
+		}
+		return c, nil
+	}
+}
+
+// compFlags registers the composition-selection flags and returns a
+// loader: either a standard composition picked by collective name (flat
+// or hierarchical), or a pipeline file parsed from -f.
+func compFlags(fs *flag.FlagSet) func() (compose.Composition, error) {
+	coll := fs.String("coll", "", "collective: allgather, reduce-scatter, alltoall, gather, scatter, allreduce, bcast")
+	flat := fs.Bool("flat", false, "use the flat (topology-oblivious) standard composition")
+	file := fs.String("f", "", "composition file (overrides -coll)")
+	return func() (compose.Composition, error) {
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				return compose.Composition{}, err
+			}
+			return compose.ParseComposition(string(data))
+		}
+		if *coll == "" {
+			return compose.Composition{}, fmt.Errorf("need -coll or -f")
+		}
+		c, err := compose.ParseCollective(*coll)
+		if err != nil {
+			return compose.Composition{}, err
+		}
+		if *flat {
+			return compose.Flat(c), nil
+		}
+		if c == compose.Allreduce {
+			// The standard allreduce is already a flat pipeline
+			// (reduce-scatter ring, fence, allgather ring).
+			return compose.Flat(c), nil
+		}
+		return compose.Hierarchical(c), nil
+	}
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, v := range compose.Variants() {
+		kind := "hierarchical"
+		if !v.BlockOnly {
+			kind = "flat"
+		}
+		fmt.Printf("%-24s %-14s %-13s %d primitives\n", v.Name, v.Coll, kind, len(v.Comp.Pipeline))
+	}
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	mkComp := compFlags(fs)
+	mkTopo := topoFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	comp, err := mkComp()
+	if err != nil {
+		return err
+	}
+	topo, err := mkTopo()
+	if err != nil {
+		return err
+	}
+	hier := compose.NewHierarchy(topo)
+	fmt.Print(comp.String())
+	fmt.Printf("\nhierarchy %s\n%s", hier.String(), hier.Describe())
+	return nil
+}
+
+func cmdLower(args []string) error {
+	fs := flag.NewFlagSet("lower", flag.ExitOnError)
+	mkComp := compFlags(fs)
+	mkTopo := topoFlags(fs)
+	msg := fs.Int("msg", 64<<10, "per-rank message size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := lower(mkComp, mkTopo, *msg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Sched.String())
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	mkComp := compFlags(fs)
+	mkTopo := topoFlags(fs)
+	msg := fs.Int("msg", 64<<10, "per-rank message size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := lower(mkComp, mkTopo, *msg)
+	if err != nil {
+		return err
+	}
+	rep, err := plan.Analyze(netmodel.Thor(), nil)
+	if err != nil {
+		return fmt.Errorf("analyze %s: %v", plan.Comp.Name, err)
+	}
+	topo := plan.Hier.Topo
+	fmt.Printf("composition %s (%s) on %dx%dx%d, msg %d B\n",
+		plan.Comp.Name, plan.Comp.Coll, topo.Nodes, topo.PPN, topo.HCAs, plan.Msg)
+	xfers := 0
+	for _, st := range plan.Sched.Steps {
+		xfers += len(st.Xfers)
+	}
+	fmt.Printf("  steps %d, transfers %d (pulls %d, copies %d, reducing %d)\n",
+		len(plan.Sched.Steps), xfers, rep.Pulls, rep.Copies, rep.Reduces)
+	fmt.Printf("  wire bytes %d, intra-node bytes %d\n", rep.WireBytes, rep.IntraBytes)
+	fmt.Printf("  analyzer cost %.3f us\n", rep.Cost.Micros())
+	if mk, err := sched.SimulateGoal(topo, netmodel.Thor(), plan.Sched, plan.Goal); err == nil {
+		fmt.Printf("  simulated makespan %.3f us\n", mk.Micros())
+	}
+	fmt.Println("  invariants: ok")
+	return nil
+}
+
+func lower(mkComp func() (compose.Composition, error), mkTopo func() (topology.Cluster, error), msg int) (*compose.Plan, error) {
+	comp, err := mkComp()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := mkTopo()
+	if err != nil {
+		return nil, err
+	}
+	return compose.Lower(comp, compose.NewHierarchy(topo), msg, nil)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("name", "compose-ag", "registered variant name (see 'mhacompose list')")
+	mkTopo := topoFlags(fs)
+	msg := fs.Int("msg", 4096, "per-rank message size in bytes")
+	seed := fs.Int64("seed", 1, "engine seed")
+	jitter := fs.Float64("jitter", 0, "fabric noise amplitude (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, ok := compose.ByName(*name); !ok {
+		return fmt.Errorf("unknown variant %q (see 'mhacompose list')", *name)
+	}
+	topo, err := mkTopo()
+	if err != nil {
+		return err
+	}
+	sc := verify.Scenario{
+		Alg: *name, Nodes: topo.Nodes, PPN: topo.PPN, HCAs: topo.HCAs,
+		Sockets: topo.Sockets, Layout: topo.Layout,
+		Msg: *msg, Seed: *seed, Jitter: *jitter,
+	}
+	res := verify.RunOnce(sc, nil)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", v.Kind, v.Detail)
+		}
+		return fmt.Errorf("%s on %dx%dx%d: %d violations", *name, topo.Nodes, topo.PPN, topo.HCAs, len(res.Violations))
+	}
+	fmt.Printf("%s on %dx%dx%d, msg %d B: verified, makespan %.3f us, trace hash %#016x\n",
+		*name, topo.Nodes, topo.PPN, topo.HCAs, *msg,
+		float64(res.Makespan)/1e3, res.Hash)
+	return nil
+}

@@ -459,3 +459,58 @@ func TestSmokeMhaclusterRejectsBadPolicy(t *testing.T) {
 		t.Fatalf("bad-policy diagnostic unexpected:\n%s", out)
 	}
 }
+
+func TestSmokeMhacomposeListAndDescribe(t *testing.T) {
+	out := run(t, "mhacompose", "list")
+	for _, name := range []string{"compose-ag", "compose-rs", "compose-a2a", "compose-ar", "compose-bcast"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("list missing %s:\n%s", name, out)
+		}
+	}
+	out = run(t, "mhacompose", "describe", "-coll", "reduce-scatter", "-nodes", "4", "-ppn", "4", "-hcas", "2")
+	for _, want := range []string{"coll=reduce-scatter", "red scope=node", "mc scope=node alg=pull", "leader-group"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMhacomposeLowerAnalyzeRun(t *testing.T) {
+	out := run(t, "mhacompose", "lower", "-coll", "alltoall", "-nodes", "2", "-ppn", "2", "-hcas", "2", "-msg", "4096")
+	if !strings.Contains(out, "step") {
+		t.Fatalf("lowered IR unexpected:\n%s", out)
+	}
+	// A custom pipeline file goes through the same path.
+	pipe := filepath.Join(t.TempDir(), "rs.compose")
+	custom := "compose my-rs coll=reduce-scatter\nred scope=world alg=ring\n"
+	if err := os.WriteFile(pipe, []byte(custom), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, "mhacompose", "analyze", "-f", pipe, "-nodes", "2", "-ppn", "2", "-msg", "65536")
+	if !strings.Contains(out, "my-rs") || !strings.Contains(out, "invariants: ok") {
+		t.Fatalf("analyze output unexpected:\n%s", out)
+	}
+	out = run(t, "mhacompose", "run", "-name", "compose-rs", "-nodes", "2", "-ppn", "4", "-msg", "1024")
+	if !strings.Contains(out, "verified") || !strings.Contains(out, "trace hash") {
+		t.Fatalf("run output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhacomposeRejectsIncompletePipeline(t *testing.T) {
+	pipe := filepath.Join(t.TempDir(), "bad.compose")
+	// A reduce-scatter that folds into node leaders but never
+	// distributes: the static analyzer must refuse it.
+	bad := "compose bad coll=reduce-scatter\nred scope=node\nred scope=leaders alg=ring\n"
+	if err := os.WriteFile(pipe, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binaries(t), "mhacompose"),
+		"analyze", "-f", pipe, "-nodes", "2", "-ppn", "2", "-msg", "1024")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("incomplete pipeline accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "analyze") {
+		t.Fatalf("diagnostic unexpected:\n%s", out)
+	}
+}

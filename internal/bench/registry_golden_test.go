@@ -101,9 +101,9 @@ func TestTier1Metrics(t *testing.T) {
 	}
 }
 
-// maskWallClock zeroes the wall-clock (tuner-* and explore-*) probe
-// values in a rendered tier-1 file so determinism checks compare only
-// modeled time.
+// maskWallClock zeroes the wall-clock (tuner-*, explore-* and
+// compose-lower-us) probe values in a rendered tier-1 file so
+// determinism checks compare only modeled time.
 func maskWallClock(t *testing.T, data []byte) string {
 	t.Helper()
 	var m map[string]float64
@@ -111,7 +111,7 @@ func maskWallClock(t *testing.T, data []byte) string {
 		t.Fatalf("tier-1 render does not parse: %v", err)
 	}
 	for k := range m {
-		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") {
+		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") || k == "compose-lower-us" {
 			m[k] = 0
 		}
 	}

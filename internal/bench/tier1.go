@@ -74,6 +74,22 @@ func Tier1(sc Scale) []Tier1Metric {
 			Micros: d.Micros(),
 		})
 	}
+	// Composition-layer probes: the modeled latency of the derived
+	// reduce-scatter on a small dual-rail machine, and the wall-clock
+	// cost of one hierarchy-compiler Lower (the only non-deterministic
+	// number besides the tuner/explore probes).
+	if d, err := ComposeLatency("compose-rs", topology.New(4, 2, 2), 64<<10); err == nil {
+		out = append(out, Tier1Metric{
+			ID:     "compose-rs-4x2x2-64k",
+			Micros: d.Micros(),
+		})
+	}
+	if us, err := ComposeLowerMicros(); err == nil && us > 0 {
+		out = append(out, Tier1Metric{
+			ID:     "compose-lower-us",
+			Micros: us,
+		})
+	}
 	// Autotuner-service probes: the only wall-clock (non-deterministic)
 	// tier-1 numbers — a cold-miss synthesis latency and the per-decision
 	// cost of the warm cache under load (1e6/us = decisions/sec).

@@ -1,7 +1,7 @@
 // Package cluster is a multi-tenant job scheduler for the simulated
 // fabric: it admits a stream of collective jobs (allgather, allreduce,
-// bcast over rank subsets) and runs them concurrently on ONE shared
-// mpi.World, so jobs genuinely contend for HCA rails, leaf uplinks, and
+// bcast, reduce-scatter, alltoall, gather and scatter over rank
+// subsets) and runs them concurrently on ONE shared mpi.World, so jobs genuinely contend for HCA rails, leaf uplinks, and
 // memory buses — the regime any production deployment lives in and the
 // single-job experiments cannot measure.
 //
@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"mha/internal/collectives"
+	"mha/internal/compose"
 	"mha/internal/faults"
 	"mha/internal/mpi"
 	"mha/internal/netmodel"
@@ -30,11 +31,16 @@ import (
 // Coll identifies which collective a job runs.
 type Coll int
 
-// The collectives the scheduler can run.
+// The collectives the scheduler can run. The last four are derived by
+// the compose layer and dispatch through its goal interpreter.
 const (
 	Allgather Coll = iota
 	Allreduce
 	Bcast
+	ReduceScatter
+	Alltoall
+	Gather
+	Scatter
 )
 
 func (c Coll) String() string {
@@ -45,6 +51,14 @@ func (c Coll) String() string {
 		return "allreduce"
 	case Bcast:
 		return "bcast"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case Alltoall:
+		return "alltoall"
+	case Gather:
+		return "gather"
+	case Scatter:
+		return "scatter"
 	}
 	return fmt.Sprintf("coll(%d)", int(c))
 }
@@ -57,11 +71,14 @@ type JobSpec struct {
 	// Coll is the collective to run.
 	Coll Coll
 	// Alg picks the algorithm variant ("" = the collective's default:
-	// ring for allgather and allreduce, binomial for bcast). Allgather
-	// also accepts "rd", "bruck", "direct"; allreduce accepts "rd".
+	// ring for allgather, allreduce and reduce-scatter, binomial for
+	// bcast, direct for alltoall, gather and scatter). Allgather also
+	// accepts "rd", "bruck", "direct"; allreduce accepts "rd".
 	Alg string
 	// Msg is the payload size in bytes: per-rank contribution for
-	// allgather, whole buffer for allreduce (multiple of 8) and bcast.
+	// allgather, whole buffer for allreduce (multiple of 8) and bcast,
+	// and per-slot payload for the compose-derived collectives (a
+	// reduce-scatter job's send buffer is Ranks*Msg bytes).
 	Msg int
 	// Ranks is how many ranks the job needs (1..world size).
 	Ranks int
@@ -494,6 +511,8 @@ func algName(job JobSpec) string {
 	switch job.Coll {
 	case Bcast:
 		return "binomial"
+	case Alltoall, Gather, Scatter:
+		return "direct"
 	default:
 		return "ring"
 	}
@@ -504,17 +523,8 @@ func algName(job JobSpec) string {
 func jobRunner(job JobSpec) (func(p *mpi.Proc, c *mpi.Comm, payload bool, report func(string)), error) {
 	switch job.Coll {
 	case Allgather:
-		var ag func(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf)
-		switch algName(job) {
-		case "ring":
-			ag = collectives.RingAllgather
-		case "rd":
-			ag = collectives.RDAllgather
-		case "bruck":
-			ag = collectives.BruckAllgather
-		case "direct":
-			ag = collectives.DirectSpreadAllgather
-		default:
+		ag, ok := collectives.AllgatherByName(algName(job))
+		if !ok {
 			return nil, fmt.Errorf("unknown allgather algorithm %q", job.Alg)
 		}
 		return func(p *mpi.Proc, c *mpi.Comm, payload bool, report func(string)) {
@@ -540,8 +550,105 @@ func jobRunner(job JobSpec) (func(p *mpi.Proc, c *mpi.Comm, payload bool, report
 		return func(p *mpi.Proc, c *mpi.Comm, payload bool, report func(string)) {
 			runBcast(p, c, job, payload, report)
 		}, nil
+	case ReduceScatter, Alltoall, Gather, Scatter:
+		comp, err := flatComposition(job)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *mpi.Proc, c *mpi.Comm, payload bool, report func(string)) {
+			runComposed(p, c, job, comp, payload, report)
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown collective %v", job.Coll)
+}
+
+// flatComposition maps a derived-collective job to its flat compose
+// pipeline — the compose layer's registration point is the only place
+// these algorithms are defined. Flat pipelines run on arbitrary
+// sub-communicators; the transport still routes each transfer over CMA
+// or the rails by the ranks' real placement.
+func flatComposition(job JobSpec) (compose.Composition, error) {
+	var coll compose.Collective
+	var def string
+	switch job.Coll {
+	case ReduceScatter:
+		coll, def = compose.ReduceScatter, "ring"
+	case Alltoall:
+		coll, def = compose.Alltoall, "direct"
+	case Gather:
+		coll, def = compose.Gather, "direct"
+	case Scatter:
+		coll, def = compose.Scatter, "direct"
+	default:
+		return compose.Composition{}, fmt.Errorf("collective %v is not compose-derived", job.Coll)
+	}
+	if algName(job) != def {
+		return compose.Composition{}, fmt.Errorf("unknown %s algorithm %q", job.Coll, job.Alg)
+	}
+	return compose.Flat(coll), nil
+}
+
+// runComposed lowers the job's composition for a flat machine of the
+// communicator's size and runs it under the goal interpreter with the
+// ByteSum fold. In payload mode the result is byte-checked against the
+// collective's oracle over the job's pattern.
+func runComposed(p *mpi.Proc, c *mpi.Comm, job JobSpec, comp compose.Composition,
+	payload bool, report func(string)) {
+	n, m := c.Size(), job.Msg
+	flat := compose.NewHierarchy(topology.Cluster{Nodes: 1, PPN: n, HCAs: 1, Layout: topology.Block})
+	plan, err := compose.Lower(comp, flat, m, nil)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: job %d: %v", job.ID, err))
+	}
+	sendLen, recvLen := compose.Geometry(comp.Coll, n, m)
+	send := mpi.Make(sendLen, !payload)
+	recv := mpi.Make(recvLen, !payload)
+	me := c.Rank(p)
+	if payload {
+		for i := range send.Data() {
+			send.Data()[i] = jobPat(job.ID, me, i)
+		}
+	}
+	compose.ExecutePlanOn(p, c, plan, send, recv)
+	if !payload || report == nil {
+		return
+	}
+	data := recv.Data()
+	for blk := 0; m > 0 && blk*m < len(data); blk++ {
+		for i := 0; i < m; i++ {
+			b, want := data[blk*m+i], jobExpByte(comp.Coll, job.ID, n, m, me, blk, i)
+			if b != want {
+				report(fmt.Sprintf("job %d rank %d: %s block %d byte %d = %#02x, want %#02x",
+					job.ID, p.Rank(), job.Coll, blk, i, b, want))
+				break
+			}
+		}
+	}
+}
+
+// jobExpByte is the oracle for byte i of receive block blk at comm
+// rank me of a compose-derived job, under the jobPat fill (see the
+// analogous oracle in internal/verify).
+func jobExpByte(coll compose.Collective, jobID, n, m, me, blk, i int) byte {
+	switch coll {
+	case compose.ReduceScatter:
+		var s byte
+		for r := 0; r < n; r++ {
+			s += jobPat(jobID, r, me*m+i)
+		}
+		return s
+	case compose.Alltoall:
+		return jobPat(jobID, blk, me*m+i)
+	case compose.Gather:
+		if me != 0 {
+			return 0
+		}
+		return jobPat(jobID, blk, i)
+	case compose.Scatter:
+		return jobPat(jobID, 0, me*m+i)
+	default:
+		panic("cluster: no oracle for collective " + coll.String())
+	}
 }
 
 // runJob executes one job's collective on its communicator and, in

@@ -8,10 +8,12 @@ import (
 )
 
 // RandomJobs generates a seeded mixed workload of n jobs for a topology:
-// mostly allgathers with a tail of allreduces and bcasts, payloads from
-// 4 KB to 256 KB, rank counts from 2 to the world size, arrivals uniform
-// over the horizon, priorities 0-3. The same seed always yields the same
-// stream, so scheduler runs over generated workloads stay reproducible.
+// mostly allgathers with a tail of allreduces, bcasts and the
+// compose-derived collectives (reduce-scatter, alltoall, gather,
+// scatter), payloads from 4 KB to 256 KB, rank counts from 2 to the
+// world size, arrivals uniform over the horizon, priorities 0-3. The
+// same seed always yields the same stream, so scheduler runs over
+// generated workloads stay reproducible.
 func RandomJobs(seed int64, n int, topo topology.Cluster, horizon sim.Duration) []JobSpec {
 	rng := rand.New(rand.NewSource(seed))
 	size := topo.Size()
@@ -20,12 +22,20 @@ func RandomJobs(seed int64, n int, topo topology.Cluster, horizon sim.Duration) 
 	for i := range out {
 		coll := Allgather
 		switch v := rng.Float64(); {
-		case v < 0.60:
+		case v < 0.40:
 			coll = Allgather
-		case v < 0.85:
+		case v < 0.60:
 			coll = Allreduce
-		default:
+		case v < 0.70:
 			coll = Bcast
+		case v < 0.80:
+			coll = ReduceScatter
+		case v < 0.90:
+			coll = Alltoall
+		case v < 0.95:
+			coll = Gather
+		default:
+			coll = Scatter
 		}
 		ranks := 2
 		if size > 2 {

@@ -37,13 +37,11 @@ func HPCX() Profile {
 	return Profile{
 		Name: "HPC-X",
 		Allgather: func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
-			c := w.CommWorld()
-			switch {
-			case send.Len() < smallAllgather:
-				BruckAllgather(p, c, send, recv)
-			default:
-				RingAllgather(p, c, send, recv)
+			name := "bruck"
+			if send.Len() >= smallAllgather {
+				name = "ring"
 			}
+			mustAllgather(name)(p, w.CommWorld(), send, recv)
 		},
 		Allreduce: func(p *mpi.Proc, w *mpi.World, buf mpi.Buf, red Reducer) {
 			c := w.CommWorld()
@@ -64,13 +62,11 @@ func MVAPICH2X() Profile {
 	return Profile{
 		Name: "MVAPICH2-X",
 		Allgather: func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
-			c := w.CommWorld()
-			switch {
-			case send.Len() < smallAllgather:
-				RDAllgather(p, c, send, recv)
-			default:
-				KandallaAllgather(p, w, send, recv)
+			if send.Len() < smallAllgather {
+				mustAllgather("rd")(p, w.CommWorld(), send, recv)
+				return
 			}
+			KandallaAllgather(p, w, send, recv)
 		},
 		Allreduce: func(p *mpi.Proc, w *mpi.World, buf mpi.Buf, red Reducer) {
 			c := w.CommWorld()

@@ -1,0 +1,49 @@
+package collectives
+
+import (
+	"fmt"
+
+	"mha/internal/mpi"
+)
+
+// NamedAllgather is one flat, communicator-based allgather registered
+// by name.
+type NamedAllgather struct {
+	Name string
+	Run  func(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf)
+}
+
+// Allgathers is the single registration point for the flat allgather
+// implementations. The verify campaign, the cluster scheduler's job
+// dispatch and the library profiles all resolve flat allgathers from
+// this table (compose.Variants is the analogous point for the derived
+// collectives), so an algorithm added here cannot drift out of any of
+// them.
+func Allgathers() []NamedAllgather {
+	return []NamedAllgather{
+		{Name: "ring", Run: RingAllgather},
+		{Name: "rd", Run: RDAllgather},
+		{Name: "bruck", Run: BruckAllgather},
+		{Name: "direct", Run: DirectSpreadAllgather},
+		{Name: "neighbor", Run: NeighborExchangeAllgather},
+	}
+}
+
+// AllgatherByName resolves one registered flat allgather.
+func AllgatherByName(name string) (func(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf), bool) {
+	for _, a := range Allgathers() {
+		if a.Name == name {
+			return a.Run, true
+		}
+	}
+	return nil, false
+}
+
+// mustAllgather resolves a name the caller registered itself.
+func mustAllgather(name string) func(p *mpi.Proc, c *mpi.Comm, send, recv mpi.Buf) {
+	run, ok := AllgatherByName(name)
+	if !ok {
+		panic(fmt.Sprintf("collectives: allgather %q is not registered", name))
+	}
+	return run
+}

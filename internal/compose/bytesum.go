@@ -1,0 +1,45 @@
+package compose
+
+import (
+	"fmt"
+
+	"mha/internal/mpi"
+	"mha/internal/sched"
+	"mha/internal/sim"
+)
+
+// ByteSum is the reduction the derived collectives verify with: a
+// byte-wise wrapping add. Unlike float addition it is exactly
+// commutative and associative, so the oracle's expected bytes do not
+// depend on fold order; unlike XOR, folding the same contribution twice
+// does not cancel out, so a double delivery corrupts bytes visibly.
+// It implements collectives.Reducer, which lets the differential tests
+// drive the hand-written allreduces with the very same arithmetic.
+type ByteSum struct{}
+
+// Reduce implements collectives.Reducer (dst[i] += src[i], mod 256).
+func (ByteSum) Reduce(dst, src mpi.Buf) {
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("compose: reduce size mismatch %d vs %d", dst.Len(), src.Len()))
+	}
+	if dst.IsPhantom() || src.IsPhantom() {
+		return
+	}
+	d, s := dst.Data(), src.Data()
+	for i := range d {
+		d[i] += s[i]
+	}
+}
+
+// Cost implements collectives.Reducer at the analyzer's fold
+// throughput, so modeled and executed reduction times agree.
+func (ByteSum) Cost(n int) sim.Duration {
+	return sim.FromSeconds(float64(n) / 8e9)
+}
+
+// Fold is the sched.ExecuteGoal reducer for derived schedules: charge
+// the fold's compute time, then sum the bytes in place.
+func Fold(p *mpi.Proc, dst, src mpi.Buf) {
+	sched.ChargeRed(p, dst, src)
+	ByteSum{}.Reduce(dst, src)
+}

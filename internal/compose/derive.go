@@ -1,0 +1,172 @@
+package compose
+
+import "mha/internal/sched"
+
+// GoalFor returns the goal of a collective over n ranks: the block
+// space, who contributes which blocks, and who must end with which.
+// Block identities follow the natural buffer layouts: allgather-family
+// blocks are rank contributions, reduce-family blocks are result slots
+// (slot r lands at rank r), alltoall chunks are numbered src*n+dst, and
+// a bcast is one block held by root 0.
+func GoalFor(coll Collective, n int) *sched.Goal {
+	mk := func(blocks int) *sched.Goal {
+		return &sched.Goal{Blocks: blocks, Init: make([][]sched.Range, n), Want: make([][]sched.Range, n)}
+	}
+	switch coll {
+	case Allgather:
+		return sched.AllgatherGoal(n)
+	case ReduceScatter:
+		g := mk(n)
+		for r := 0; r < n; r++ {
+			g.Init[r] = []sched.Range{{First: 0, Count: n}}
+			g.Want[r] = []sched.Range{{First: r, Count: 1}}
+		}
+		return g
+	case Alltoall:
+		g := mk(n * n)
+		for r := 0; r < n; r++ {
+			g.Init[r] = []sched.Range{{First: r * n, Count: n}}
+			for s := 0; s < n; s++ {
+				g.Want[r] = append(g.Want[r], sched.Range{First: s*n + r, Count: 1})
+			}
+		}
+		return g
+	case Gather:
+		g := mk(n)
+		for r := 0; r < n; r++ {
+			g.Init[r] = []sched.Range{{First: r, Count: 1}}
+		}
+		g.Want[0] = []sched.Range{{First: 0, Count: n}}
+		return g
+	case Scatter:
+		g := mk(n)
+		g.Init[0] = []sched.Range{{First: 0, Count: n}}
+		for r := 0; r < n; r++ {
+			g.Want[r] = []sched.Range{{First: r, Count: 1}}
+		}
+		return g
+	case Allreduce:
+		g := mk(n)
+		for r := 0; r < n; r++ {
+			g.Init[r] = []sched.Range{{First: 0, Count: n}}
+			g.Want[r] = []sched.Range{{First: 0, Count: n}}
+		}
+		return g
+	case Bcast:
+		g := mk(1)
+		g.Init[0] = []sched.Range{{First: 0, Count: 1}}
+		for r := 0; r < n; r++ {
+			g.Want[r] = []sched.Range{{First: 0, Count: 1}}
+		}
+		return g
+	default:
+		panic("compose: unknown collective")
+	}
+}
+
+// Geometry returns the per-rank send and receive buffer sizes of a
+// collective over n ranks with per-block payload m. Non-root ranks of
+// a gather still size recv at n*m (it must stay untouched), and every
+// rank of a scatter sizes send at n*m (only root's bytes matter) —
+// matching the MPI calling conventions the verify oracles check.
+func Geometry(coll Collective, n, m int) (sendLen, recvLen int) {
+	switch coll {
+	case Allgather, Gather:
+		return m, n * m
+	case ReduceScatter, Scatter:
+		return n * m, m
+	case Alltoall, Allreduce:
+		return n * m, n * m
+	case Bcast:
+		return m, m
+	default:
+		panic("compose: unknown collective")
+	}
+}
+
+// Hierarchical returns the standard hierarchical (multi-HCA aware)
+// composition of a collective: node-scope staging, leader-scope
+// exchange, node-scope distribution. Allreduce has no hierarchical
+// standard here (its flat reduce-scatter + allgather pipeline is the
+// registered derivation).
+func Hierarchical(coll Collective) Composition {
+	switch coll {
+	case Allgather:
+		return Composition{Name: "compose-ag", Coll: Allgather, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgDirect, Offload: AutoOffload},
+			{Op: Multicast, Scope: ScopeLeaders, Alg: AlgRing, Striped: true},
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgPull},
+		}}
+	case ReduceScatter:
+		return Composition{Name: "compose-rs", Coll: ReduceScatter, Pipeline: []Prim{
+			{Op: Reduce, Scope: ScopeNode, Alg: AlgDirect},
+			{Op: Reduce, Scope: ScopeLeaders, Alg: AlgRing},
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgPull},
+		}}
+	case Alltoall:
+		return Composition{Name: "compose-a2a", Coll: Alltoall, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgDirect},
+			{Op: Multicast, Scope: ScopeLeaders, Alg: AlgDirect},
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgPull},
+		}}
+	case Gather:
+		return Composition{Name: "compose-gather", Coll: Gather, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgDirect},
+			{Op: Multicast, Scope: ScopeLeaders, Alg: AlgDirect},
+		}}
+	case Scatter:
+		return Composition{Name: "compose-scatter", Coll: Scatter, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeLeaders, Alg: AlgDirect},
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgPull},
+		}}
+	case Bcast:
+		return Composition{Name: "compose-bcast", Coll: Bcast, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeLeaders, Alg: AlgTree, Striped: true},
+			{Op: Multicast, Scope: ScopeNode, Alg: AlgPull},
+		}}
+	default:
+		panic("compose: no hierarchical composition for " + coll.String())
+	}
+}
+
+// Flat returns the world-scope composition of a collective: no
+// hierarchy, one primitive pattern over all ranks (allreduce is the
+// classic reduce-scatter + allgather pipeline with a fence between).
+// Flat compositions work on any layout and on arbitrary
+// sub-communicators, which is how the cluster scheduler runs them.
+func Flat(coll Collective) Composition {
+	switch coll {
+	case Allgather:
+		return Composition{Name: "compose-ag-ring", Coll: Allgather, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgRing},
+		}}
+	case ReduceScatter:
+		return Composition{Name: "compose-rs-ring", Coll: ReduceScatter, Pipeline: []Prim{
+			{Op: Reduce, Scope: ScopeWorld, Alg: AlgRing},
+		}}
+	case Alltoall:
+		return Composition{Name: "compose-a2a-direct", Coll: Alltoall, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgDirect},
+		}}
+	case Gather:
+		return Composition{Name: "compose-gather-direct", Coll: Gather, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgDirect},
+		}}
+	case Scatter:
+		return Composition{Name: "compose-scatter-direct", Coll: Scatter, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgDirect},
+		}}
+	case Allreduce:
+		return Composition{Name: "compose-ar", Coll: Allreduce, Pipeline: []Prim{
+			{Op: Reduce, Scope: ScopeWorld, Alg: AlgRing},
+			{Op: Fence},
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgRing},
+		}}
+	case Bcast:
+		return Composition{Name: "compose-bcast-tree", Coll: Bcast, Pipeline: []Prim{
+			{Op: Multicast, Scope: ScopeWorld, Alg: AlgTree},
+		}}
+	default:
+		panic("compose: no flat composition for " + coll.String())
+	}
+}

@@ -1,0 +1,237 @@
+package compose_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mha/internal/collectives"
+	"mha/internal/compose"
+	"mha/internal/core"
+	"mha/internal/mpi"
+	"mha/internal/sched"
+	"mha/internal/topology"
+	"mha/internal/verify"
+)
+
+// normalized renders a schedule with its name blanked, so two
+// identically-shaped lowerings from different front ends compare equal.
+func normalized(s *sched.Schedule) string {
+	c := s.Clone()
+	c.Name = "x"
+	return c.String()
+}
+
+// TestComposeAgEqualsTwoPhaseMHA: the re-derived hierarchical
+// allgather must compile to the very schedule TwoPhaseMHA builds by
+// hand — same steps, transfers, transports, rails, byte windows — for
+// every machine shape and message size.
+func TestComposeAgEqualsTwoPhaseMHA(t *testing.T) {
+	comp := compose.Hierarchical(compose.Allgather)
+	for _, topo := range testTopos {
+		for _, msg := range []int{1, 64, 4096, 256 << 10} {
+			plan, err := compose.Lower(comp, compose.NewHierarchy(topo), msg, nil)
+			if err != nil {
+				t.Fatalf("%v msg=%d: %v", topo, msg, err)
+			}
+			want := sched.TwoPhaseMHA(topo, nil, msg, sched.MHAOptions{Offload: sched.AutoOffload})
+			if got, exp := normalized(plan.Sched), normalized(want); got != exp {
+				t.Fatalf("%v msg=%d: compose-ag diverged from TwoPhaseMHA:\n--- compose\n%s\n--- hand\n%s",
+					topo, msg, got, exp)
+			}
+		}
+	}
+}
+
+// TestComposeAgRingEqualsRing: the flat allgather composition is the
+// classic ring, transfer for transfer.
+func TestComposeAgRingEqualsRing(t *testing.T) {
+	comp := compose.Flat(compose.Allgather)
+	for _, topo := range testTopos {
+		plan, err := compose.Lower(comp, compose.NewHierarchy(topo), 512, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		want := sched.Ring(topo, 512)
+		if got, exp := normalized(plan.Sched), normalized(want); got != exp {
+			t.Fatalf("%v: compose-ag-ring diverged from sched.Ring:\n%s\nvs\n%s", topo, got, exp)
+		}
+	}
+}
+
+// TestComposeAgTraceEqualsSchedMHA: beyond schedule equality, the
+// executed event timeline is identical — the derived variant is
+// indistinguishable from the hand-lowered one at the simulator level.
+func TestComposeAgTraceEqualsSchedMHA(t *testing.T) {
+	scenarios := []verify.Scenario{
+		{Nodes: 2, PPN: 4, HCAs: 2, Layout: topology.Block, Msg: 1024, Seed: 7},
+		{Nodes: 3, PPN: 2, HCAs: 2, Layout: topology.Block, Msg: 8192, Seed: 11},
+		{Nodes: 4, PPN: 4, HCAs: 4, Layout: topology.Block, Msg: 257, Seed: 13},
+	}
+	for _, sc := range scenarios {
+		sc.Alg = "compose-ag"
+		r1 := verify.RunOnce(sc, nil)
+		if len(r1.Violations) > 0 {
+			t.Fatalf("%+v: %v", sc, r1.Violations)
+		}
+		sc.Alg = "sched-mha"
+		r2 := verify.RunOnce(sc, nil)
+		if len(r2.Violations) > 0 {
+			t.Fatalf("%+v: %v", sc, r2.Violations)
+		}
+		if r1.Hash != r2.Hash {
+			t.Errorf("%+v: trace hash %#x (compose-ag) vs %#x (sched-mha)", sc, r1.Hash, r2.Hash)
+		}
+		if r1.Makespan != r2.Makespan {
+			t.Errorf("%+v: makespan %v vs %v", sc, r1.Makespan, r2.Makespan)
+		}
+	}
+}
+
+// runCollect executes body on every rank of a fresh world and returns
+// each rank's result buffer.
+func runCollect(t *testing.T, topo topology.Cluster, body func(p *mpi.Proc, w *mpi.World) mpi.Buf) []mpi.Buf {
+	t.Helper()
+	w := mpi.New(mpi.Config{Topo: topo})
+	out := make([]mpi.Buf, topo.Size())
+	var mu sync.Mutex
+	if err := w.Run(func(p *mpi.Proc) {
+		b := body(p, w)
+		mu.Lock()
+		out[p.Rank()] = b
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func fill(b mpi.Buf, r int) {
+	for i := range b.Data() {
+		b.Data()[i] = byte(r*131 + i*7 + 3)
+	}
+}
+
+func diffBufs(t *testing.T, name string, got, want []mpi.Buf) {
+	t.Helper()
+	for r := range got {
+		if !got[r].Equal(want[r]) {
+			t.Fatalf("%s: rank %d bytes diverge from hand-written counterpart", name, r)
+		}
+	}
+}
+
+// TestComposeArEqualsRingAllreduce: the derived allreduce pipeline
+// (reduce-scatter ring, fence, allgather ring) ends with the same bytes
+// as the hand-written Patarasuk-Yuan ring allreduce driven by the same
+// ByteSum arithmetic.
+func TestComposeArEqualsRingAllreduce(t *testing.T) {
+	topo := topology.Cluster{Nodes: 2, PPN: 4, HCAs: 2, Layout: topology.Block}
+	n := topo.Size()
+	m := 64 // per-slot payload; hand-written chunking needs 8 | n*m
+	runner := compose.Runner(compose.Flat(compose.Allreduce))
+	got := runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+		send := mpi.NewBuf(n * m)
+		fill(send, p.Rank())
+		recv := mpi.NewBuf(n * m)
+		runner(p, w, send, recv)
+		return recv
+	})
+	want := runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+		buf := mpi.NewBuf(n * m)
+		fill(buf, p.Rank())
+		collectives.RingAllreduce(p, w.CommWorld(), buf, compose.ByteSum{})
+		return buf
+	})
+	diffBufs(t, "compose-ar", got, want)
+}
+
+// TestComposeBcastEqualsMHABcast: the derived hierarchical bcast moves
+// the same bytes as the hand-written MHA broadcast from root 0.
+func TestComposeBcastEqualsMHABcast(t *testing.T) {
+	topo := topology.Cluster{Nodes: 3, PPN: 4, HCAs: 2, Layout: topology.Block}
+	m := 2048
+	runner := compose.Runner(compose.Hierarchical(compose.Bcast))
+	got := runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+		send := mpi.NewBuf(m)
+		fill(send, p.Rank())
+		recv := mpi.NewBuf(m)
+		runner(p, w, send, recv)
+		return recv
+	})
+	want := runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+		buf := mpi.NewBuf(m)
+		if p.Rank() == 0 {
+			fill(buf, 0)
+		}
+		core.MHABcast(p, w, 0, buf)
+		return buf
+	})
+	diffBufs(t, "compose-bcast", got, want)
+}
+
+// TestDerivedEqualHandWritten: the derived gather, scatter and
+// alltoall agree byte-for-byte with the hand-written hierarchical
+// implementations in internal/core (root 0, world-rank block order).
+func TestDerivedEqualHandWritten(t *testing.T) {
+	topo := topology.Cluster{Nodes: 2, PPN: 4, HCAs: 2, Layout: topology.Block}
+	n := topo.Size()
+	m := 512
+	cases := []struct {
+		name string
+		comp compose.Composition
+		hand func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf)
+	}{
+		{"gather", compose.Hierarchical(compose.Gather),
+			func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+				core.MHAGather(p, w, 0, send, recv)
+			}},
+		{"scatter", compose.Hierarchical(compose.Scatter),
+			func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf) {
+				core.MHAScatter(p, w, 0, send, recv)
+			}},
+		{"alltoall", compose.Hierarchical(compose.Alltoall), core.MHAAlltoall},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sendLen, recvLen := compose.Geometry(tc.comp.Coll, n, m)
+			runner := compose.Runner(tc.comp)
+			mk := func(run func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf)) []mpi.Buf {
+				return runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+					send := mpi.NewBuf(sendLen)
+					fill(send, p.Rank())
+					recv := mpi.NewBuf(recvLen)
+					run(p, w, send, recv)
+					return recv
+				})
+			}
+			diffBufs(t, fmt.Sprintf("compose-%s", tc.name), mk(runner), mk(tc.hand))
+		})
+	}
+}
+
+// TestFlatEqualsHierarchicalBytes: for every collective with both a
+// flat and a hierarchical standard composition, the two lowerings are
+// different schedules but must end with identical bytes.
+func TestFlatEqualsHierarchicalBytes(t *testing.T) {
+	topo := topology.Cluster{Nodes: 2, PPN: 3, HCAs: 2, Layout: topology.Block}
+	n := topo.Size()
+	m := 96
+	for _, coll := range []compose.Collective{
+		compose.Allgather, compose.ReduceScatter, compose.Alltoall,
+		compose.Gather, compose.Scatter, compose.Bcast,
+	} {
+		sendLen, recvLen := compose.Geometry(coll, n, m)
+		mk := func(comp compose.Composition) []mpi.Buf {
+			runner := compose.Runner(comp)
+			return runCollect(t, topo, func(p *mpi.Proc, w *mpi.World) mpi.Buf {
+				send := mpi.NewBuf(sendLen)
+				fill(send, p.Rank())
+				recv := mpi.NewBuf(recvLen)
+				runner(p, w, send, recv)
+				return recv
+			})
+		}
+		diffBufs(t, coll.String(), mk(compose.Hierarchical(coll)), mk(compose.Flat(coll)))
+	}
+}

@@ -1,0 +1,37 @@
+package compose_test
+
+import (
+	"testing"
+
+	"mha/internal/explore"
+)
+
+// TestExploreDerivedReduceScatter runs the exhaustive DPOR model
+// checker over the derived hierarchical reduce-scatter on a 4-rank
+// dual-rail world: every inequivalent interleaving of the lowered
+// schedule's message deposits must satisfy the byte-exact oracle, not
+// just the canonical ordering the randomized campaign exercises.
+func TestExploreDerivedReduceScatter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration in -short mode")
+	}
+	rep, err := explore.Run(explore.Options{
+		Algs: []string{"compose-rs"}, Nodes: 2, PPN: 2, HCAs: 2, Msg: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Error("exploration did not complete")
+	}
+	if rep.Counterexamples != 0 {
+		for _, pr := range rep.Placements {
+			for _, ce := range pr.Counterexamples {
+				t.Errorf("%s %s: %s -> %v", pr.Alg, pr.Fault, ce.Shrunk, ce.Violations)
+			}
+		}
+	}
+	if rep.Executions < 1 {
+		t.Errorf("implausible exploration: %d executions", rep.Executions)
+	}
+}

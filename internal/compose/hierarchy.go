@@ -1,0 +1,106 @@
+package compose
+
+import (
+	"fmt"
+	"strings"
+
+	"mha/internal/topology"
+)
+
+// Hierarchy is the declarative machine spec a composition is lowered
+// against: the world of ranks, its nodes (the CMA domains), the leader
+// group (rank 0 of every node, the only ranks that talk across nodes
+// in hierarchical pipelines), and the rails (the HCAs leader transfers
+// may stripe across). It is a thin view over topology.Cluster so the
+// lowered schedule, the analyzer and the runtime all agree on shape.
+type Hierarchy struct {
+	Topo topology.Cluster
+}
+
+// NewHierarchy wraps a cluster topology.
+func NewHierarchy(topo topology.Cluster) Hierarchy { return Hierarchy{Topo: topo} }
+
+// Level describes one level of the hierarchy for display and tests.
+type Level struct {
+	// Name is "world", "node", "leader-group" or "rail".
+	Name string
+	// Groups is how many instances of the level the machine has, and
+	// Size how many members each has.
+	Groups, Size int
+}
+
+// Levels lists the hierarchy top-down: the world, the nodes, the
+// leader group, and the rails per node.
+func (h Hierarchy) Levels() []Level {
+	t := h.Topo
+	return []Level{
+		{Name: "world", Groups: 1, Size: t.Size()},
+		{Name: "node", Groups: t.Nodes, Size: t.PPN},
+		{Name: "leader-group", Groups: 1, Size: t.Nodes},
+		{Name: "rail", Groups: t.Nodes, Size: t.HCAs},
+	}
+}
+
+// String renders the canonical one-line spec accepted by
+// ParseHierarchy.
+func (h Hierarchy) String() string {
+	t := h.Topo
+	s := fmt.Sprintf("world nodes=%d ppn=%d hcas=%d layout=%s", t.Nodes, t.PPN, t.HCAs, t.Layout)
+	if t.Sockets > 0 {
+		s += fmt.Sprintf(" sockets=%d", t.Sockets)
+	}
+	return s
+}
+
+// Describe renders the level table, one line per level.
+func (h Hierarchy) Describe() string {
+	var b strings.Builder
+	for _, lv := range h.Levels() {
+		fmt.Fprintf(&b, "%-12s %d x %d\n", lv.Name, lv.Groups, lv.Size)
+	}
+	return b.String()
+}
+
+// Validate checks the underlying machine shape.
+func (h Hierarchy) Validate() error { return h.Topo.Validate() }
+
+// ParseHierarchy reads the one-line spec String produces:
+//
+//	world nodes=4 ppn=8 hcas=2 layout=block sockets=2
+//
+// layout defaults to block and sockets to 0 (no NUMA split); hcas
+// defaults to 1. The result is shape-validated.
+func ParseHierarchy(line string) (Hierarchy, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != "world" {
+		return Hierarchy{}, fmt.Errorf("compose: hierarchy spec must start with \"world\"")
+	}
+	kv, err := keyvals(fields[1:], "nodes", "ppn", "hcas", "layout", "sockets")
+	if err != nil {
+		return Hierarchy{}, fmt.Errorf("compose: %v", err)
+	}
+	var t topology.Cluster
+	var errs [4]error
+	t.Nodes, errs[0] = kv.num("nodes", -1)
+	t.PPN, errs[1] = kv.num("ppn", -1)
+	t.HCAs, errs[2] = kv.num("hcas", 1)
+	t.Sockets, errs[3] = kv.num("sockets", 0)
+	for _, err := range errs {
+		if err != nil {
+			return Hierarchy{}, fmt.Errorf("compose: %v", err)
+		}
+	}
+	switch kv.str("layout", "block") {
+	case "block":
+		t.Layout = topology.Block
+	case "cyclic":
+		t.Layout = topology.Cyclic
+	default:
+		return Hierarchy{}, fmt.Errorf("compose: unknown layout %q", kv.str("layout", ""))
+	}
+	h := Hierarchy{Topo: t}
+	if err := h.Validate(); err != nil {
+		return Hierarchy{}, fmt.Errorf("compose: %v", err)
+	}
+	return h, nil
+}

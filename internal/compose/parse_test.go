@@ -1,0 +1,96 @@
+package compose_test
+
+import (
+	"testing"
+
+	"mha/internal/compose"
+)
+
+// standardComps enumerates every standard composition once.
+func standardComps() []compose.Composition {
+	var out []compose.Composition
+	for _, coll := range compose.Collectives() {
+		if coll != compose.Allreduce {
+			out = append(out, compose.Hierarchical(coll))
+		}
+		out = append(out, compose.Flat(coll))
+	}
+	return out
+}
+
+func TestCompositionRoundTrip(t *testing.T) {
+	for _, comp := range standardComps() {
+		text := comp.String()
+		parsed, err := compose.ParseComposition(text)
+		if err != nil {
+			t.Fatalf("%s: parse of own rendering failed: %v\n%s", comp.Name, err, text)
+		}
+		if parsed.Name != comp.Name || parsed.Coll != comp.Coll {
+			t.Errorf("%s: header drifted: %+v", comp.Name, parsed)
+		}
+		if len(parsed.Pipeline) != len(comp.Pipeline) {
+			t.Fatalf("%s: %d primitives, want %d", comp.Name, len(parsed.Pipeline), len(comp.Pipeline))
+		}
+		for i := range parsed.Pipeline {
+			if parsed.Pipeline[i] != comp.Pipeline[i] {
+				t.Errorf("%s: primitive %d drifted: %+v vs %+v",
+					comp.Name, i, parsed.Pipeline[i], comp.Pipeline[i])
+			}
+		}
+		if again := parsed.String(); again != text {
+			t.Errorf("%s: render not a fixed point:\n%s\nvs\n%s", comp.Name, text, again)
+		}
+	}
+}
+
+func TestParseCompositionComments(t *testing.T) {
+	text := `# derived reduce-scatter
+compose rs coll=reduce-scatter
+red scope=node          # fold into leaders
+red scope=leaders alg=ring
+fence
+mc scope=node alg=pull
+`
+	c, err := compose.ParseComposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pipeline) != 4 || c.Pipeline[2].Op != compose.Fence {
+		t.Errorf("unexpected pipeline: %+v", c.Pipeline)
+	}
+}
+
+func TestParseCompositionErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"# only a comment\n",
+		"compose x coll=allgather\n", // no primitives
+		"mc scope=world alg=ring\n",  // primitive before header
+		"compose x coll=nope\nmc\n",  // unknown collective
+		"compose x coll=allgather\nmc scope=galaxy\n",           // unknown scope
+		"compose x coll=allgather\nmc alg=warp\n",               // unknown alg
+		"compose x coll=allgather\nmc striped=yes\n",            // bad number
+		"compose x coll=allgather\nmc offload=-3\n",             // offload below auto
+		"compose x coll=allgather\nfence now\n",                 // fence with args
+		"compose x coll=allgather\ncompose y coll=bcast\n",      // duplicate header
+		"compose coll=allgather\nmc\n",                          // missing name
+		"compose x coll=allgather\nteleport\n",                  // unknown directive
+		"compose x coll=allgather\nmc scope=world scope=node\n", // duplicate key
+	} {
+		if _, err := compose.ParseComposition(text); err == nil {
+			t.Errorf("ParseComposition(%q): expected error", text)
+		}
+	}
+}
+
+func TestParseCollective(t *testing.T) {
+	for _, coll := range compose.Collectives() {
+		got, err := compose.ParseCollective(coll.String())
+		if err != nil || got != coll {
+			t.Errorf("ParseCollective(%q) = %v, %v", coll.String(), got, err)
+		}
+	}
+	if _, err := compose.ParseCollective("allga"); err == nil {
+		t.Error("expected error for unknown collective")
+	}
+}

@@ -16,6 +16,7 @@ var detnowPass = &Pass{
 	Scope: scopeIn(
 		"internal/sim", "internal/mpi", "internal/sched",
 		"internal/cluster", "internal/collectives", "internal/explore",
+		"internal/compose",
 	),
 	Run: runDetnow,
 }

@@ -22,9 +22,11 @@ type Report struct {
 	// transfers), summed over steps.
 	Cost      sim.Duration
 	StepCosts []sim.Duration
-	// Transfers / Pulls / Copies count schedule entries; WireBytes and
-	// IntraBytes split the payload traffic at the node boundary.
+	// Transfers / Pulls / Copies count schedule entries; Reduces counts
+	// the transfers that fold on receive; WireBytes and IntraBytes split
+	// the payload traffic at the node boundary.
 	Transfers, Pulls, Copies int
+	Reduces                  int
 	WireBytes, IntraBytes    int64
 }
 
@@ -103,21 +105,33 @@ func (c *cover) add(lo, hi, size int) {
 
 func (c *cover) full() bool { return c.done }
 
-// holdState is the per-(rank, block) coverage matrix.
+// holdState is the per-(rank, block) state matrix: byte coverage plus
+// the contributor set the copy carries (see Goal). For a plain move the
+// set is the sender's; matching sets merge coverage, a different set
+// replaces the copy outright. A reducing delivery unions two disjoint
+// sets — overlap means some rank's contribution would fold in twice.
 type holdState struct {
-	n, msg int
-	cov    []cover // rank*n + block
+	n, nb, msg int
+	cov        []cover      // rank*nb + block
+	set        []contribSet // rank*nb + block; nil = holds nothing
 }
 
-func newHoldState(n, msg int) *holdState {
-	h := &holdState{n: n, msg: msg, cov: make([]cover, n*n)}
-	for r := 0; r < n; r++ {
-		h.cov[r*n+r].markAll()
+func newHoldState(n, nb, msg int, g *Goal) *holdState {
+	h := &holdState{n: n, nb: nb, msg: msg,
+		cov: make([]cover, n*nb), set: make([]contribSet, n*nb)}
+	for r, list := range g.Init {
+		for _, rng := range list {
+			for b := rng.First; b < rng.First+rng.Count; b++ {
+				h.cov[r*nb+b].markAll()
+				h.set[r*nb+b] = h.set[r*nb+b].with(r, n)
+			}
+		}
 	}
 	return h
 }
 
-func (h *holdState) at(rank, block int) *cover { return &h.cov[rank*h.n+block] }
+func (h *holdState) at(rank, block int) *cover        { return &h.cov[rank*h.nb+block] }
+func (h *holdState) setAt(rank, block int) contribSet { return h.set[rank*h.nb+block] }
 
 // holdsWindow reports whether rank holds every byte the transfer reads.
 func (h *holdState) holdsWindow(rank int, t Transfer) (bool, int) {
@@ -133,10 +147,48 @@ func (h *holdState) holdsWindow(rank int, t Transfer) (bool, int) {
 	return true, 0
 }
 
-// deliver credits the transfer's byte window to the destination.
-func (h *holdState) deliver(rank int, t Transfer) {
-	for _, w := range windowBlocks(t, h.msg) {
-		h.at(rank, w.block).add(w.lo, w.hi, h.msg)
+// snapshot captures the source's per-window contributor sets before any
+// of the step's deliveries land (sends read pre-step state). Sets are
+// copy-on-write, so aliasing the live slice is safe.
+func (h *holdState) snapshot(t Transfer) []contribSet {
+	ws := windowBlocks(t, h.msg)
+	out := make([]contribSet, len(ws))
+	for i, w := range ws {
+		out[i] = h.setAt(t.Src, w.block)
+	}
+	return out
+}
+
+// deliver credits the transfer's byte window to the destination, using
+// the pre-step source sets from snapshot. Reducing deliveries report
+// double folds and partially-held destinations through viol.
+func (h *holdState) deliver(t Transfer, srcSets []contribSet, si, xi int, viol *violations) {
+	for i, w := range windowBlocks(t, h.msg) {
+		idx := t.Dst*h.nb + w.block
+		if t.Red {
+			switch {
+			case h.set[idx] == nil:
+				// Folding into nothing is a plain arrival.
+				h.set[idx] = srcSets[i]
+				h.cov[idx] = cover{}
+				h.cov[idx].add(w.lo, w.hi, h.msg)
+			case !h.cov[idx].full():
+				viol.addf("step %d xfer %d: rank %d folds into partially held block %d", si, xi, t.Dst, w.block)
+			case !h.set[idx].disjoint(srcSets[i]):
+				viol.addf("step %d xfer %d: double fold into rank %d block %d", si, xi, t.Dst, w.block)
+			default:
+				h.set[idx] = h.set[idx].union(srcSets[i])
+			}
+			continue
+		}
+		if h.set[idx].equal(srcSets[i]) {
+			h.cov[idx].add(w.lo, w.hi, h.msg)
+			continue
+		}
+		// A copy with different provenance replaces what was held.
+		h.set[idx] = srcSets[i]
+		h.cov[idx] = cover{}
+		h.cov[idx].add(w.lo, w.hi, h.msg)
 	}
 }
 
@@ -218,6 +270,22 @@ func Analyze(s *Schedule, prm *netmodel.Params) (*Report, error) {
 // rail is an invariant violation, because the runtime would wait on it
 // forever. A nil vector is exactly Analyze.
 func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report, error) {
+	return AnalyzeGoalHealth(s, prm, health, nil)
+}
+
+// AnalyzeGoal is Analyze against an explicit goal: initial holds come
+// from goal.Init, completeness requires every Want range fully covered
+// and carrying exactly its canonical contributor set, and reducing
+// transfers are checked for double folds. A nil goal means the classic
+// allgather contract (and then the schedule must use the default block
+// space). This is how internal/compose verifies every lowered
+// collective with the same machinery the allgather variants use.
+func AnalyzeGoal(s *Schedule, prm *netmodel.Params, g *Goal) (*Report, error) {
+	return AnalyzeGoalHealth(s, prm, nil, g)
+}
+
+// AnalyzeGoalHealth is AnalyzeGoal under a rail-health vector.
+func AnalyzeGoalHealth(s *Schedule, prm *netmodel.Params, health []float64, g *Goal) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -234,25 +302,51 @@ func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report
 	if n > analyzeMaxRanks {
 		return nil, fmt.Errorf("sched: analyzer supports up to %d ranks, schedule has %d", analyzeMaxRanks, n)
 	}
+	nb := s.Blocks()
+	if g == nil {
+		if s.NumBlocks != 0 && s.NumBlocks != n {
+			return nil, fmt.Errorf("sched: block space %d needs an explicit goal (world has %d ranks)", s.NumBlocks, n)
+		}
+		g = AllgatherGoal(n)
+	}
+	if err := g.Validate(n, nb); err != nil {
+		return nil, err
+	}
+	if n*nb > analyzeMaxRanks*analyzeMaxRanks {
+		return nil, fmt.Errorf("sched: hold matrix %d x %d exceeds the analyzer's bound", n, nb)
+	}
 	m := s.Msg
-	hold := newHoldState(n, m)
+	hold := newHoldState(n, nb, m, g)
 	var viol violations
 	rep := &Report{
-		// Every rank starts by copying its own contribution into place;
-		// the interpreter does the same LocalCopy.
-		Cost:      prm.CopyTime(m, 1),
+		// Every rank starts by staging its initial blocks into place; the
+		// interpreter performs the same LocalCopys.
 		StepCosts: make([]sim.Duration, len(s.Steps)),
 	}
+	var worstInit sim.Duration
+	for _, list := range g.Init {
+		var d sim.Duration
+		for _, rng := range list {
+			d += prm.CopyTime(rng.Count*m, 1)
+		}
+		if d > worstInit {
+			worstInit = d
+		}
+	}
+	rep.Cost = worstInit
 	H := s.Topo.HCAs
 	railRR := make([]int, n) // per-rank round-robin cursor, mirroring the runtime
 
 	for si := range s.Steps {
 		st := &s.Steps[si]
 
-		// Pass 1: invariants. Sends read pre-step state, so all checks
-		// precede all deliveries.
+		// Pass 1: invariants. Sends read pre-step state, so all checks —
+		// and the contributor-set snapshots the deliveries need — precede
+		// all deliveries.
 		pinned := map[resKey]int{} // (node, rail, dir) -> count of pinned users
+		srcSets := make([][]contribSet, len(st.Xfers))
 		for xi, t := range st.Xfers {
+			srcSets[xi] = hold.snapshot(t)
 			if ok, blk := hold.holdsWindow(t.Src, t); !ok {
 				viol.addf("step %d xfer %d: rank %d sends block %d before holding it", si, xi, t.Src, blk)
 			}
@@ -342,6 +436,12 @@ func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report
 				}
 				rep.WireBytes += int64(t.Len)
 			}
+			if t.Red {
+				// The destination folds the arrived bytes into its copy;
+				// priced like the byte-wise reducers charge compute.
+				busy[resKey{resCPU, t.Dst, 0}] += sim.FromSeconds(float64(t.Len) / reduceBW)
+				rep.Reduces++
+			}
 			rep.Transfers++
 		}
 		for _, cp := range st.Copies {
@@ -359,16 +459,25 @@ func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report
 		rep.Cost += worst
 
 		// Pass 4: apply deliveries for the next step.
-		for _, t := range st.Xfers {
-			hold.deliver(t.Dst, t)
+		for xi, t := range st.Xfers {
+			hold.deliver(t, srcSets[xi], si, xi, &viol)
 		}
 	}
 
-	// Completeness: the whole point of an allgather.
+	// Completeness: every wanted block fully covered and carrying exactly
+	// its canonical contributor set (for an allgather, "rank r ends
+	// holding every block"; for a reduction, "fully folded, no double
+	// counting").
+	canon := g.contributors(n)
 	for r := 0; r < n && viol.n <= 8; r++ {
-		for b := 0; b < n; b++ {
-			if !hold.at(r, b).full() {
-				viol.addf("rank %d ends missing block %d", r, b)
+		for _, rng := range g.Want[r] {
+			for b := rng.First; b < rng.First+rng.Count; b++ {
+				if !hold.at(r, b).full() {
+					viol.addf("rank %d ends missing block %d", r, b)
+				} else if got := hold.setAt(r, b); !got.equal(canon[b]) {
+					viol.addf("rank %d ends block %d with %d of %d contributions",
+						r, b, got.count(), canon[b].count())
+				}
 			}
 		}
 	}
@@ -377,6 +486,11 @@ func AnalyzeHealth(s *Schedule, prm *netmodel.Params, health []float64) (*Report
 	}
 	return rep, nil
 }
+
+// reduceBW is the fold bandwidth (bytes/s) charged to the destination
+// CPU per reducing delivery, matching the byte-wise reducers' cost
+// model (collectives.Float64Sum and compose's byte-sum both use 8 GB/s).
+const reduceBW = 8e9
 
 // hcaPiece prices one rail piece of an adapter transfer: startup plus
 // wire time at the rail's surviving bandwidth, plus the rendezvous

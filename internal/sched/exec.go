@@ -114,6 +114,163 @@ func Execute(p *mpi.Proc, w *mpi.World, s *Schedule, send, recv mpi.Buf) {
 	}
 }
 
+// ExecuteGoal runs a goal-based schedule (see Goal) as this rank's
+// share of a derived collective over the communicator c. The schedule's
+// ranks are comm ranks, so sub-communicator plans work; only the sizes
+// must agree (a plan lowered for a flat virtual topology may run on a
+// comm whose ranks span nodes — the runtime routes each message by the
+// real machine, the plan's pricing is simply approximate there).
+//
+// init supplies the caller's contiguous buffer for each of the rank's
+// Init ranges, and out the destination buffer for each Want range; both
+// are copied through a private arena so the caller's send buffer is
+// never aliased or clobbered. red folds an arrived payload into the
+// arena for reducing transfers (required iff the schedule contains
+// any); it must charge its own compute time and tolerate phantom
+// buffers.
+//
+// Every transfer window must stay inside one contiguous run of the
+// rank's touched blocks — lowerings guarantee this by construction, and
+// a violation is a planning bug, reported by panic.
+func ExecuteGoal(p *mpi.Proc, c *mpi.Comm, s *Schedule, g *Goal,
+	init func(r Range) mpi.Buf,
+	out func(r Range) mpi.Buf,
+	red func(p *mpi.Proc, dst, src mpi.Buf)) {
+	n := c.Size()
+	if s.Topo.Size() != n {
+		panic(fmt.Sprintf("sched: schedule for %d ranks executed on a %d-rank comm", s.Topo.Size(), n))
+	}
+	m := s.Msg
+	nb := s.Blocks()
+	me := c.Rank(p)
+
+	// The arena holds every block this rank touches, packed by block
+	// index so contiguous block ranges stay contiguous in memory.
+	touched := make([]bool, nb)
+	mark := func(first, count int) {
+		for b := first; b < first+count; b++ {
+			touched[b] = true
+		}
+	}
+	for _, rng := range g.Init[me] {
+		mark(rng.First, rng.Count)
+	}
+	for _, rng := range g.Want[me] {
+		mark(rng.First, rng.Count)
+	}
+	for _, st := range s.Steps {
+		for _, t := range st.Xfers {
+			if t.Src == me || t.Dst == me {
+				mark(t.First, t.Count)
+			}
+		}
+		for _, cp := range st.Copies {
+			if cp.Rank == me {
+				mark(cp.First, cp.Count)
+			}
+		}
+	}
+	arenaOff := make([]int, nb)
+	total := 0
+	for b, on := range touched {
+		if on {
+			arenaOff[b] = total
+			total++
+		} else {
+			arenaOff[b] = -1
+		}
+	}
+	arena := mpi.Make(total*m, p.World().Phantom())
+	window := func(first, count, off, ln int) mpi.Buf {
+		base := arenaOff[first]
+		if base < 0 || arenaOff[first+count-1] != base+count-1 {
+			panic(fmt.Sprintf("sched: rank %d: block range [%d,%d) not contiguous in its arena", me, first, first+count))
+		}
+		return arena.Slice(base*m+off, ln)
+	}
+
+	// Stage initial blocks, like Execute's own-contribution LocalCopy.
+	for _, rng := range g.Init[me] {
+		p.LocalCopy(window(rng.First, rng.Count, 0, rng.Count*m), init(rng))
+	}
+
+	epoch := c.Epoch(p)
+	type pendingRecv struct {
+		req *mpi.Request
+		t   Transfer
+	}
+	for si := range s.Steps {
+		st := &s.Steps[si]
+		ord := map[[2]int]int{}
+		tagOf := func(t Transfer) int {
+			k := [2]int{t.Src, t.Dst}
+			q := ord[k]
+			ord[k] = q + 1
+			return mpi.Tag(epoch, phaseSched, si<<7|q)
+		}
+		var recvs []pendingRecv
+		var sends []*mpi.Request
+		for _, t := range st.Xfers {
+			if t.Dst != me && t.Src != me {
+				tagOf(t) // keep the shared ordinal stream in sync
+				continue
+			}
+			tag := tagOf(t)
+			if t.Dst == me {
+				recvs = append(recvs, pendingRecv{p.Irecv(c, t.Src, tag), t})
+			}
+			if t.Src == me {
+				buf := window(t.First, t.Count, t.Off, t.Len)
+				switch t.Via {
+				case ViaPull:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ByRef()))
+				case ViaHCA:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ViaHCA()))
+				case ViaRail:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf, mpi.ViaRail(t.Rail)))
+				default:
+					sends = append(sends, p.Isend(c, t.Dst, tag, buf))
+				}
+			}
+		}
+		for _, pr := range recvs {
+			data := p.Wait(pr.req)
+			if pr.t.Via == ViaPull {
+				p.ChargeCMA(pr.t.Len)
+			}
+			dst := window(pr.t.First, pr.t.Count, pr.t.Off, pr.t.Len)
+			if pr.t.Red {
+				if red == nil {
+					panic("sched: schedule has reducing transfers but no reducer was supplied")
+				}
+				red(p, dst, data)
+			} else {
+				dst.CopyFrom(data)
+			}
+		}
+		for _, cp := range st.Copies {
+			if cp.Rank == me {
+				p.ChargeCopy(cp.Count * m)
+			}
+		}
+		for _, sr := range sends {
+			p.Wait(sr)
+		}
+	}
+
+	// Deliver the wanted ranges to the caller's buffers.
+	for _, rng := range g.Want[me] {
+		p.LocalCopy(out(rng), window(rng.First, rng.Count, 0, rng.Count*m))
+	}
+}
+
+// ChargeRed is the reducer stand-in for phantom measurement runs: it
+// charges the byte-wise fold's compute time (the analyzer's reduceBW)
+// and moves no bytes.
+func ChargeRed(p *mpi.Proc, dst, src mpi.Buf) {
+	p.Compute(sim.FromSeconds(float64(src.Len()) / reduceBW))
+}
+
 // Runner adapts a schedule constructor to the verify.RunFn shape: each
 // rank builds the schedule for the world's actual topology and message
 // size and executes it. Constructors are deterministic pure functions of
@@ -130,6 +287,27 @@ func Runner(build func(topo topology.Cluster, msg int) *Schedule) func(p *mpi.Pr
 // of Analyze's Cost: same plan, real contention.
 func Simulate(topo topology.Cluster, prm *netmodel.Params, s *Schedule) (sim.Duration, error) {
 	return runSchedule(newPhantomWorld(topo, prm, nil), s)
+}
+
+// SimulateGoal is Simulate for a goal-based schedule: every rank runs
+// ExecuteGoal with phantom buffers and the ChargeRed reducer.
+func SimulateGoal(topo topology.Cluster, prm *netmodel.Params, s *Schedule, g *Goal) (sim.Duration, error) {
+	w := newPhantomWorld(topo, prm, nil)
+	phantom := func(rng Range) mpi.Buf { return mpi.Phantom(rng.Count * s.Msg) }
+	var mu sync.Mutex
+	var worst sim.Time
+	err := w.Run(func(p *mpi.Proc) {
+		ExecuteGoal(p, w.CommWorld(), s, g, phantom, phantom, ChargeRed)
+		mu.Lock()
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(worst), nil
 }
 
 // newPhantomWorld builds the measurement world Simulate and

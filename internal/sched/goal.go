@@ -1,0 +1,176 @@
+package sched
+
+import "fmt"
+
+// Range is a contiguous block range [First, First+Count).
+type Range struct {
+	First, Count int
+}
+
+// Goal generalizes the schedule contract beyond allgather. The block
+// space has Blocks entries (for an allgather, one per rank; for an
+// alltoall, one per (src, dst) pair). Init[r] lists the ranges rank r
+// holds before step 0, and Want[r] the ranges it must hold — fully
+// covered and carrying exactly the canonical contributor set — after the
+// last step.
+//
+// Contribution identity is what makes reductions checkable: rank r's
+// initial copy of block b carries the contributor set {r}, a plain move
+// preserves the sender's set, and a reducing transfer (Transfer.Red)
+// unions two disjoint sets. The canonical set of block b is every rank
+// whose Init covers b, so "fully reduced" and "not double-folded" are
+// both completeness checks, not runtime properties.
+type Goal struct {
+	Blocks int
+	Init   [][]Range
+	Want   [][]Range
+}
+
+// AllgatherGoal is the classic contract Analyze always enforced: block b
+// is rank b's contribution, and every rank must end holding all of them.
+func AllgatherGoal(n int) *Goal {
+	g := &Goal{Blocks: n, Init: make([][]Range, n), Want: make([][]Range, n)}
+	for r := 0; r < n; r++ {
+		g.Init[r] = []Range{{First: r, Count: 1}}
+		g.Want[r] = []Range{{First: 0, Count: n}}
+	}
+	return g
+}
+
+// Validate checks the goal against a world of n ranks and the
+// schedule's block space.
+func (g *Goal) Validate(n, blocks int) error {
+	if g.Blocks != blocks {
+		return fmt.Errorf("sched: goal block space %d does not match schedule's %d", g.Blocks, blocks)
+	}
+	if g.Blocks < 1 || g.Blocks > maxBlocks {
+		return fmt.Errorf("sched: goal block space %d outside [1,%d]", g.Blocks, maxBlocks)
+	}
+	if len(g.Init) != n || len(g.Want) != n {
+		return fmt.Errorf("sched: goal shaped for %d ranks, world has %d", len(g.Init), n)
+	}
+	check := func(kind string, rs [][]Range) error {
+		for r, list := range rs {
+			for _, rng := range list {
+				if rng.Count < 1 || rng.First < 0 || rng.First+rng.Count > g.Blocks {
+					return fmt.Errorf("sched: goal %s rank %d: block range [%d,%d) out of [0,%d)",
+						kind, r, rng.First, rng.First+rng.Count, g.Blocks)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("init", g.Init); err != nil {
+		return err
+	}
+	if err := check("want", g.Want); err != nil {
+		return err
+	}
+	// Every block some rank wants must have at least one contributor, or
+	// completeness could never hold.
+	contrib := make([]bool, g.Blocks)
+	for _, list := range g.Init {
+		for _, rng := range list {
+			for b := rng.First; b < rng.First+rng.Count; b++ {
+				contrib[b] = true
+			}
+		}
+	}
+	for r, list := range g.Want {
+		for _, rng := range list {
+			for b := rng.First; b < rng.First+rng.Count; b++ {
+				if !contrib[b] {
+					return fmt.Errorf("sched: goal: rank %d wants block %d, which no rank contributes", r, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// contributors returns the canonical contributor set of every block.
+func (g *Goal) contributors(n int) []contribSet {
+	out := make([]contribSet, g.Blocks)
+	for r, list := range g.Init {
+		for _, rng := range list {
+			for b := rng.First; b < rng.First+rng.Count; b++ {
+				out[b] = out[b].with(r, n)
+			}
+		}
+	}
+	return out
+}
+
+// contribSet is a bitset of contributing ranks; nil means empty. All
+// operations are pure (copy-on-write), so snapshots of pre-step state
+// may alias live sets safely.
+type contribSet []uint64
+
+func setWords(n int) int { return (n + 63) / 64 }
+
+func (s contribSet) has(r int) bool {
+	w := r / 64
+	return w < len(s) && s[w]&(1<<uint(r%64)) != 0
+}
+
+// with returns a new set with rank r added (n sizes fresh allocations).
+func (s contribSet) with(r, n int) contribSet {
+	out := make(contribSet, setWords(n))
+	copy(out, s)
+	out[r/64] |= 1 << uint(r%64)
+	return out
+}
+
+func (s contribSet) equal(o contribSet) bool {
+	long, short := s, o
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range long {
+		if i < len(short) {
+			if w != short[i] {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s contribSet) disjoint(o contribSet) bool {
+	n := len(s)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// union returns a fresh set holding both operands' ranks.
+func (s contribSet) union(o contribSet) contribSet {
+	n := len(s)
+	if len(o) > n {
+		n = len(o)
+	}
+	out := make(contribSet, n)
+	copy(out, s)
+	for i, w := range o {
+		out[i] |= w
+	}
+	return out
+}
+
+func (s contribSet) count() int {
+	c := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}

@@ -31,6 +31,7 @@ type jsonSchedule struct {
 	HCAs   int        `json:"hcas"`
 	Layout string     `json:"layout"`
 	Msg    int        `json:"msg"`
+	Blocks int        `json:"blocks,omitempty"`
 	Steps  []jsonStep `json:"steps"`
 }
 
@@ -48,6 +49,7 @@ type jsonXfer struct {
 	Len   *int   `json:"len,omitempty"`
 	Via   string `json:"via,omitempty"`
 	Rail  int    `json:"rail,omitempty"`
+	Red   bool   `json:"red,omitempty"`
 }
 
 type jsonCopy struct {
@@ -66,11 +68,12 @@ func (s *Schedule) JSON() ([]byte, error) {
 		HCAs:   s.Topo.HCAs,
 		Layout: s.Topo.Layout.String(),
 		Msg:    s.Msg,
+		Blocks: s.NumBlocks,
 	}
 	for _, st := range s.Steps {
 		jst := jsonStep{}
 		for _, t := range st.Xfers {
-			jx := jsonXfer{Src: t.Src, Dst: t.Dst, First: t.First, Count: t.Count, Rail: t.Rail}
+			jx := jsonXfer{Src: t.Src, Dst: t.Dst, First: t.First, Count: t.Count, Rail: t.Rail, Red: t.Red}
 			if !t.Whole(s.Msg) {
 				off, n := t.Off, t.Len
 				jx.Off, jx.Len = &off, &n
@@ -111,9 +114,10 @@ func parseJSON(text string) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: %v", err)
 	}
 	s := &Schedule{
-		Name: js.Name,
-		Topo: topology.Cluster{Nodes: js.Nodes, PPN: js.PPN, HCAs: js.HCAs, Layout: layout},
-		Msg:  js.Msg,
+		Name:      js.Name,
+		Topo:      topology.Cluster{Nodes: js.Nodes, PPN: js.PPN, HCAs: js.HCAs, Layout: layout},
+		Msg:       js.Msg,
+		NumBlocks: js.Blocks,
 	}
 	if s.Name == "" {
 		return nil, fmt.Errorf("sched: schedule has no name")
@@ -121,7 +125,7 @@ func parseJSON(text string) (*Schedule, error) {
 	for si, jst := range js.Steps {
 		st := Step{}
 		for xi, jx := range jst.Xfers {
-			t := Transfer{Src: jx.Src, Dst: jx.Dst, First: jx.First, Count: jx.Count, Rail: jx.Rail}
+			t := Transfer{Src: jx.Src, Dst: jx.Dst, First: jx.First, Count: jx.Count, Rail: jx.Rail, Red: jx.Red}
 			if (jx.Off == nil) != (jx.Len == nil) {
 				return nil, fmt.Errorf("sched: step %d xfer %d: off and len must appear together", si, xi)
 			}
@@ -180,7 +184,7 @@ func parseText(text string) (*Schedule, error) {
 			if len(fields) < 2 || strings.ContainsRune(fields[1], '=') {
 				return nil, fmt.Errorf("%s: schedule header needs a name", at)
 			}
-			kv, err := keyvals(fields[2:], "nodes", "ppn", "hcas", "layout", "msg")
+			kv, err := keyvals(fields[2:], "nodes", "ppn", "hcas", "layout", "msg", "blocks")
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", at, err)
 			}
@@ -192,15 +196,17 @@ func parseText(text string) (*Schedule, error) {
 			ppn, err2 := kv.num("ppn", -1)
 			hcas, err3 := kv.num("hcas", 1)
 			msg, err4 := kv.num("msg", -1)
-			for _, err := range []error{err1, err2, err3, err4} {
+			blocks, err5 := kv.num("blocks", 0)
+			for _, err := range []error{err1, err2, err3, err4, err5} {
 				if err != nil {
 					return nil, fmt.Errorf("%s: %v", at, err)
 				}
 			}
 			s = &Schedule{
-				Name: fields[1],
-				Topo: topology.Cluster{Nodes: nodes, PPN: ppn, HCAs: hcas, Layout: layout},
-				Msg:  msg,
+				Name:      fields[1],
+				Topo:      topology.Cluster{Nodes: nodes, PPN: ppn, HCAs: hcas, Layout: layout},
+				Msg:       msg,
+				NumBlocks: blocks,
 			}
 		case "step":
 			if s == nil {
@@ -215,7 +221,7 @@ func parseText(text string) (*Schedule, error) {
 			if !inStep {
 				return nil, fmt.Errorf("%s: xfer outside a step", at)
 			}
-			kv, err := keyvals(fields[1:], "src", "dst", "first", "count", "off", "len", "via", "rail")
+			kv, err := keyvals(fields[1:], "src", "dst", "first", "count", "off", "len", "via", "rail", "red")
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", at, err)
 			}
@@ -241,6 +247,11 @@ func parseText(text string) (*Schedule, error) {
 			if t.Rail, err = kv.num("rail", 0); err != nil {
 				return nil, fmt.Errorf("%s: %v", at, err)
 			}
+			red, err := kv.num("red", 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", at, err)
+			}
+			t.Red = red != 0
 			st := &s.Steps[len(s.Steps)-1]
 			st.Xfers = append(st.Xfers, t)
 		case "copy":

@@ -99,6 +99,11 @@ type Transfer struct {
 	Off, Len     int // byte window within the range
 	Via          Via
 	Rail         int // meaningful only when Via == ViaRail
+	// Red folds the payload into the destination's copy (byte-wise
+	// reduction) instead of overwriting it. Reducing transfers must carry
+	// their whole range (partial folds are not well-defined) and cannot
+	// be receiver-driven pulls. Plain allgather schedules never set it.
+	Red bool
 }
 
 // Whole reports whether the transfer carries its full block range.
@@ -120,14 +125,21 @@ type Step struct {
 	Copies []Copy
 }
 
-// Schedule is a complete allgather plan for one (topology, message size)
-// pair. Msg is the per-rank contribution in bytes; rank r starts holding
-// only block r and must end holding blocks 0..Size-1.
+// Schedule is a complete collective plan for one (topology, message
+// size) pair. Msg is the per-block payload in bytes. By default the
+// block space equals the world size and the contract is the allgather's
+// (rank r starts holding only block r and must end holding all of
+// them); a schedule lowered from internal/compose may set NumBlocks to
+// use a different block space and pair the schedule with a Goal
+// describing who starts and ends with what (see AnalyzeGoal).
 type Schedule struct {
-	Name  string
-	Topo  topology.Cluster
-	Msg   int
-	Steps []Step
+	Name string
+	Topo topology.Cluster
+	Msg  int
+	// NumBlocks overrides the block-space size when > 0; 0 means the
+	// classic allgather space (one block per rank).
+	NumBlocks int
+	Steps     []Step
 }
 
 // maxSteps bounds the step count so step indices fit the mpi.Tag step
@@ -145,8 +157,18 @@ const (
 	maxMsg   = 1 << 32
 )
 
-// Blocks returns the number of blocks (= world size).
-func (s *Schedule) Blocks() int { return s.Topo.Size() }
+// maxBlocks bounds an explicit block space (an alltoall's is the world
+// size squared; anything far beyond that is a hostile input).
+const maxBlocks = 1 << 20
+
+// Blocks returns the size of the block space: NumBlocks when set, the
+// world size (the allgather contract) otherwise.
+func (s *Schedule) Blocks() int {
+	if s.NumBlocks > 0 {
+		return s.NumBlocks
+	}
+	return s.Topo.Size()
+}
 
 // NumTransfers counts the transfers across all steps.
 func (s *Schedule) NumTransfers() int {
@@ -175,7 +197,11 @@ func (s *Schedule) Validate() error {
 	if len(s.Steps) > maxSteps {
 		return fmt.Errorf("sched: %d steps exceed the %d-step limit", len(s.Steps), maxSteps)
 	}
+	if s.NumBlocks < 0 || s.NumBlocks > maxBlocks {
+		return fmt.Errorf("sched: block space %d outside [0,%d]", s.NumBlocks, maxBlocks)
+	}
 	n := s.Topo.Size()
+	nb := s.Blocks()
 	for si, st := range s.Steps {
 		pair := map[[2]int]int{}
 		for xi, t := range st.Xfers {
@@ -185,8 +211,8 @@ func (s *Schedule) Validate() error {
 				return fmt.Errorf("%s: rank out of range in %d->%d (size %d)", at, t.Src, t.Dst, n)
 			case t.Src == t.Dst:
 				return fmt.Errorf("%s: self transfer on rank %d (use a copy)", at, t.Src)
-			case t.Count < 1 || t.First < 0 || t.First+t.Count > n:
-				return fmt.Errorf("%s: block range [%d,%d) out of [0,%d)", at, t.First, t.First+t.Count, n)
+			case t.Count < 1 || t.First < 0 || t.First+t.Count > nb:
+				return fmt.Errorf("%s: block range [%d,%d) out of [0,%d)", at, t.First, t.First+t.Count, nb)
 			case t.Off < 0 || t.Len < 0 || t.Off+t.Len > t.Count*s.Msg:
 				return fmt.Errorf("%s: byte window [%d,%d) outside range of %d bytes", at, t.Off, t.Off+t.Len, t.Count*s.Msg)
 			case s.Msg > 0 && t.Len == 0:
@@ -199,6 +225,10 @@ func (s *Schedule) Validate() error {
 				return fmt.Errorf("%s: rail %d set on a %s transfer", at, t.Rail, t.Via)
 			case t.Via == ViaPull && !s.Topo.SameNode(t.Src, t.Dst):
 				return fmt.Errorf("%s: pull between ranks %d and %d on different nodes", at, t.Src, t.Dst)
+			case t.Red && !t.Whole(s.Msg):
+				return fmt.Errorf("%s: reducing transfer carries a partial window", at)
+			case t.Red && t.Via == ViaPull:
+				return fmt.Errorf("%s: reducing transfer cannot be a pull", at)
 			}
 			pair[[2]int{t.Src, t.Dst}]++
 			if pair[[2]int{t.Src, t.Dst}] > maxPerPair {
@@ -209,8 +239,8 @@ func (s *Schedule) Validate() error {
 			if cp.Rank < 0 || cp.Rank >= n {
 				return fmt.Errorf("sched: step %d copy %d: rank %d out of range", si, ci, cp.Rank)
 			}
-			if cp.Count < 1 || cp.First < 0 || cp.First+cp.Count > n {
-				return fmt.Errorf("sched: step %d copy %d: block range [%d,%d) out of [0,%d)", si, ci, cp.First, cp.First+cp.Count, n)
+			if cp.Count < 1 || cp.First < 0 || cp.First+cp.Count > nb {
+				return fmt.Errorf("sched: step %d copy %d: block range [%d,%d) out of [0,%d)", si, ci, cp.First, cp.First+cp.Count, nb)
 			}
 		}
 	}
@@ -223,8 +253,12 @@ func (s *Schedule) Validate() error {
 // omitted, so String(Parse(String(s))) is a fixed point.
 func (s *Schedule) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule %s nodes=%d ppn=%d hcas=%d layout=%s msg=%d\n",
+	fmt.Fprintf(&b, "schedule %s nodes=%d ppn=%d hcas=%d layout=%s msg=%d",
 		s.Name, s.Topo.Nodes, s.Topo.PPN, s.Topo.HCAs, s.Topo.Layout, s.Msg)
+	if s.NumBlocks != 0 {
+		fmt.Fprintf(&b, " blocks=%d", s.NumBlocks)
+	}
+	b.WriteByte('\n')
 	for _, st := range s.Steps {
 		b.WriteString("step\n")
 		for _, t := range st.Xfers {
@@ -238,6 +272,9 @@ func (s *Schedule) String() string {
 			if t.Via == ViaRail {
 				fmt.Fprintf(&b, " rail=%d", t.Rail)
 			}
+			if t.Red {
+				b.WriteString(" red=1")
+			}
 			b.WriteByte('\n')
 		}
 		for _, cp := range st.Copies {
@@ -249,7 +286,8 @@ func (s *Schedule) String() string {
 
 // Clone returns a deep copy (steps and their slices are independent).
 func (s *Schedule) Clone() *Schedule {
-	out := &Schedule{Name: s.Name, Topo: s.Topo, Msg: s.Msg, Steps: make([]Step, len(s.Steps))}
+	out := &Schedule{Name: s.Name, Topo: s.Topo, Msg: s.Msg,
+		NumBlocks: s.NumBlocks, Steps: make([]Step, len(s.Steps))}
 	for i, st := range s.Steps {
 		out.Steps[i] = Step{
 			Xfers:  append([]Transfer(nil), st.Xfers...),
@@ -270,6 +308,14 @@ type Builder struct {
 // size. The first emitter call lands in step 0 automatically.
 func NewBuilder(name string, topo topology.Cluster, msg int) *Builder {
 	return &Builder{s: &Schedule{Name: name, Topo: topo, Msg: msg}}
+}
+
+// Blocks sets an explicit block-space size (see Schedule.NumBlocks).
+// Call it before emitting transfers; lowerings for goal-based
+// collectives whose block space is not one-per-rank need it.
+func (b *Builder) Blocks(nb int) *Builder {
+	b.s.NumBlocks = nb
+	return b
 }
 
 // Step opens a new (initially empty) step.
@@ -308,6 +354,21 @@ func (b *Builder) SendRange(src, dst, first, count int) *Builder {
 func (b *Builder) SendHCA(src, dst, first, count int) *Builder {
 	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
 		Len: count * b.s.Msg, Via: ViaHCA})
+}
+
+// SendRed emits a whole block range that folds into the destination's
+// copy (default transport). See Transfer.Red.
+func (b *Builder) SendRed(src, dst, first, count int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Len: count * b.s.Msg, Red: true})
+}
+
+// SendRedHCA is SendRed forced through the adapters with the default
+// rail policy (reductions cannot pin partial windows, so striping is
+// the transport's business).
+func (b *Builder) SendRedHCA(src, dst, first, count int) *Builder {
+	return b.Xfer(Transfer{Src: src, Dst: dst, First: first, Count: count,
+		Len: count * b.s.Msg, Via: ViaHCA, Red: true})
 }
 
 // Pull emits a receiver-driven whole-range copy from an on-node peer.

@@ -1,5 +1,5 @@
 // Package verify is the repo's randomized differential-verification
-// harness: it generates adversarial allgather scenarios (cluster shape,
+// harness: it generates adversarial collective scenarios (cluster shape,
 // rank layout, message size, fault schedule, algorithm), runs each
 // registered variant with real payloads against a directly-constructed
 // oracle of the expected bytes, and audits the simulator's physics along
@@ -13,24 +13,31 @@ import (
 	"sort"
 
 	"mha/internal/collectives"
+	"mha/internal/compose"
 	"mha/internal/core"
 	"mha/internal/mpi"
 	"mha/internal/sched"
 	"mha/internal/topology"
 )
 
-// RunFn is one allgather implementation under verification: gather send
-// (identical length on every rank) into recv, which holds Size
-// contributions ordered by world rank.
+// RunFn is one collective implementation under verification. Buffer
+// shapes follow compose.Geometry for the algorithm's collective; for
+// the allgather family that means send holds one contribution
+// (identical length on every rank) and recv holds Size contributions
+// ordered by world rank.
 type RunFn func(p *mpi.Proc, w *mpi.World, send, recv mpi.Buf)
 
-// Algorithm is one verifiable allgather variant plus the topology
+// Algorithm is one verifiable collective variant plus the topology
 // constraints it documents. The constraints keep the generator honest:
 // pairing a hierarchical algorithm with a cyclic layout would report
 // oracle failures the algorithm's contract explicitly excludes.
 type Algorithm struct {
 	// Name identifies the variant in specs and reports.
 	Name string
+	// Coll is the collective contract the variant implements; the zero
+	// value is allgather, which every hand-written variant predates.
+	// It selects the buffer geometry and the byte oracle.
+	Coll compose.Collective
 	// Run executes the variant on the world communicator.
 	Run RunFn
 	// BlockOnly marks the hierarchical designs, which require the block
@@ -67,12 +74,9 @@ func onComm(fn func(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf)) RunFn {
 }
 
 // registry is the built-in variant set plus any Register additions.
+// The flat allgathers and the compose-derived collectives join through
+// their registration tables in init below.
 var registry = []Algorithm{
-	{Name: "ring", Run: onComm(collectives.RingAllgather)},
-	{Name: "rd", Run: onComm(collectives.RDAllgather)},
-	{Name: "bruck", Run: onComm(collectives.BruckAllgather)},
-	{Name: "direct", Run: onComm(collectives.DirectSpreadAllgather)},
-	{Name: "neighbor", Run: onComm(collectives.NeighborExchangeAllgather)},
 	{Name: "two-level", Run: collectives.KandallaAllgather, BlockOnly: true},
 	{Name: "two-level-rd", Run: collectives.MamidalaAllgather, BlockOnly: true},
 	{Name: "multi-leader", BlockOnly: true, EvenPPN: true,
@@ -108,6 +112,21 @@ var registry = []Algorithm{
 		Run: sched.Runner(func(topo topology.Cluster, msg int) *sched.Schedule {
 			return sched.TwoPhaseMHA(topo, nil, msg, sched.MHAOptions{Offload: sched.AutoOffload})
 		})},
+}
+
+// The flat allgathers and the compose-derived variants register
+// through their packages' single registration points, so an algorithm
+// or composition added there automatically joins the campaign with its
+// collective's geometry and oracle.
+func init() {
+	for _, a := range collectives.Allgathers() {
+		registry = append(registry, Algorithm{Name: a.Name, Run: onComm(a.Run)})
+	}
+	for _, v := range compose.Variants() {
+		registry = append(registry, Algorithm{
+			Name: v.Name, Coll: v.Coll, Run: RunFn(v.Run), BlockOnly: v.BlockOnly,
+		})
+	}
 }
 
 // Algorithms returns the registered variants sorted by name.

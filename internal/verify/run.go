@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mha/internal/compose"
 	"mha/internal/mpi"
 	"mha/internal/sim"
 	"mha/internal/trace"
@@ -26,6 +27,48 @@ func (v Violation) String() string { return v.Kind + ": " + v.Detail }
 // non-repeating pattern so block swaps, off-by-ones and stale bytes all
 // produce visible mismatches.
 func patByte(r, i int) byte { return byte(r*131 + i*7 + 3) }
+
+// sumByte is the ByteSum fold of every rank's contribution byte i —
+// the reduction oracle. Wrapping byte addition is exactly commutative
+// and associative, so the expected value is independent of fold order.
+func sumByte(n, i int) byte {
+	var s byte
+	for r := 0; r < n; r++ {
+		s += patByte(r, i)
+	}
+	return s
+}
+
+// expByte is the oracle for byte i of receive block blk at rank me
+// under each collective's contract. Send buffers are always filled
+// with the owner's patByte pattern over their Geometry length, so:
+// allgather-family blocks are contributions verbatim, reduce-family
+// slots are ByteSum folds, alltoall chunk (s -> me) is bytes
+// [me*m, me*m+m) of s's pattern, and a gather's non-root receive
+// buffer must stay untouched (all zero).
+func expByte(coll compose.Collective, n, m, me, blk, i int) byte {
+	switch coll {
+	case compose.Allgather:
+		return patByte(blk, i)
+	case compose.ReduceScatter:
+		return sumByte(n, me*m+i)
+	case compose.Alltoall:
+		return patByte(blk, me*m+i)
+	case compose.Gather:
+		if me != 0 {
+			return 0
+		}
+		return patByte(blk, i)
+	case compose.Scatter:
+		return patByte(0, me*m+i)
+	case compose.Allreduce:
+		return sumByte(n, blk*m+i)
+	case compose.Bcast:
+		return patByte(0, i)
+	default:
+		panic("verify: no oracle for collective " + coll.String())
+	}
+}
 
 // maxOracleReports caps per-run oracle output; one failing scenario can
 // corrupt every block of every rank.
@@ -98,19 +141,21 @@ func RunOnce(sc Scenario, install func(*mpi.World)) (res RunResult) {
 		}
 		mu.Unlock()
 	}
+	sendLen, recvLen := compose.Geometry(alg.Coll, n, m)
 	err := w.Run(func(p *mpi.Proc) {
-		send := mpi.NewBuf(m)
+		send := mpi.NewBuf(sendLen)
 		for i := range send.Data() {
 			send.Data()[i] = patByte(p.Rank(), i)
 		}
-		recv := mpi.NewBuf(n * m)
+		recv := mpi.NewBuf(recvLen)
 		alg.Run(p, w, send, recv)
-		for r := 0; r < n; r++ {
-			blk := recv.Data()[r*m : (r+1)*m]
-			for i, b := range blk {
-				if b != patByte(r, i) {
+		data := recv.Data()
+		for blk := 0; m > 0 && blk*m < len(data); blk++ {
+			for i := 0; i < m; i++ {
+				b, want := data[blk*m+i], expByte(alg.Coll, n, m, p.Rank(), blk, i)
+				if b != want {
 					report(fmt.Sprintf("rank %d: block %d byte %d = %#02x, want %#02x",
-						p.Rank(), r, i, b, patByte(r, i)))
+						p.Rank(), blk, i, b, want))
 					break
 				}
 			}

@@ -28,6 +28,7 @@ import (
 
 	"mha/internal/cluster"
 	"mha/internal/collectives"
+	"mha/internal/compose"
 	"mha/internal/core"
 	"mha/internal/explore"
 	"mha/internal/faults"
@@ -331,6 +332,49 @@ var (
 	// SimulateScheduleHealth measures one phantom run under the fault
 	// schedule equivalent to a steady health vector.
 	SimulateScheduleHealth = sched.SimulateHealth
+)
+
+// Compositional collectives (internal/compose, cmd/mhacompose): a
+// collective as a declarative pipeline of multicast / reduce / fence
+// primitives over the machine hierarchy, compiled to the schedule IR
+// and checked by the same analyzer and verification campaign as the
+// hand-written designs (see DESIGN.md section 13).
+type (
+	// Composition is a named primitive pipeline deriving one collective.
+	Composition = compose.Composition
+	// CompositionPlan is a lowered composition: schedule plus goal,
+	// ready for analysis, simulation, or execution.
+	CompositionPlan = compose.Plan
+	// Hierarchy is the machine view (world -> node -> leader-group ->
+	// rail) that scoped primitives lower against.
+	Hierarchy = compose.Hierarchy
+	// Collective names the collective a composition derives.
+	Collective = compose.Collective
+)
+
+// The derivable collectives.
+const (
+	AllgatherCollective     = compose.Allgather
+	ReduceScatterCollective = compose.ReduceScatter
+	AlltoallCollective      = compose.Alltoall
+	GatherCollective        = compose.Gather
+	ScatterCollective       = compose.Scatter
+	AllreduceCollective     = compose.Allreduce
+	BcastCollective         = compose.Bcast
+)
+
+// Composition entry points: the standard pipelines per collective, the
+// text-form parsers, the hierarchy constructors, the compiler, and the
+// derived-variant registry consumed by verification, the cluster job
+// mix, and the bench experiments.
+var (
+	HierarchicalComposition = compose.Hierarchical
+	FlatComposition         = compose.Flat
+	ParseComposition        = compose.ParseComposition
+	ParseHierarchy          = compose.ParseHierarchy
+	NewHierarchy            = compose.NewHierarchy
+	LowerComposition        = compose.Lower
+	ComposedVariants        = compose.Variants
 )
 
 // The autotuner service (internal/tuner, cmd/mhatuned): schedule
