@@ -39,6 +39,7 @@ func main() {
 		ppn     = flag.Int("ppn", 2, "ranks per node")
 		hcas    = flag.Int("hcas", 2, "rails (HCAs) per node")
 		msg     = flag.Int("msg", 8, "per-rank contribution in bytes")
+		fabspec = flag.String("fabric", "", "fabric spec (e.g. ft:arity=2,levels=2,over=2); empty means flat")
 		faults  = flag.Bool("faults", false, "also explore every single-rail Down placement")
 		maxExec = flag.Int("max-execs", 0, "executions per (variant, placement) before giving up (default 50000)")
 		budget  = flag.Int("shrink-budget", 0, "replay evaluations per counterexample shrink (default 60)")
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	opt := explore.Options{
-		Nodes: *nodes, PPN: *ppn, HCAs: *hcas, Msg: *msg,
+		Nodes: *nodes, PPN: *ppn, HCAs: *hcas, Msg: *msg, Fabric: *fabspec,
 		MaxExecs: *maxExec, ShrinkBudget: *budget,
 	}
 	if *faults {

@@ -1,0 +1,132 @@
+// Command mhafabric inspects the structured inter-node networks of
+// internal/fabric and sweeps the allgather family across them.
+//
+//	mhafabric describe -fabric ft:arity=2,levels=2,over=2 -nodes 8
+//	mhafabric route -fabric dfly:groups=2,routers=2,nodes=2 -nodes 8 -src 0 -dst 7
+//	mhafabric route -fabric ft:arity=2,levels=2,over=2 -nodes 4 -all
+//	mhafabric sweep            # quick fabric x algorithm table
+//	mhafabric sweep -full
+//
+// describe prints the link structure a spec builds over a cluster; route
+// prints the deterministic shared-link path between two nodes (or every
+// pair); sweep reruns the bench fabric experiment, so its output matches
+// the checked-in golden byte for byte.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mha/internal/bench"
+	"mha/internal/fabric"
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "describe":
+		describe(os.Args[2:])
+	case "route":
+		route(os.Args[2:])
+	case "sweep":
+		sweep(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mhafabric <describe|route|sweep> [flags]")
+	os.Exit(2)
+}
+
+// buildFlags returns the flag set and cluster/spec flags shared by
+// describe and route.
+func buildFlags(name string) (*flag.FlagSet, *string, *int, *int, *int) {
+	fs := flag.NewFlagSet("mhafabric "+name, flag.ExitOnError)
+	spec := fs.String("fabric", "ft:arity=2,levels=2,over=2", "fabric spec (flat, ft:..., dfly:...)")
+	nodes := fs.Int("nodes", 8, "cluster node count")
+	ppn := fs.Int("ppn", 2, "ranks per node")
+	hcas := fs.Int("hcas", 2, "rails per node")
+	return fs, spec, nodes, ppn, hcas
+}
+
+func build(specText string, nodes, ppn, hcas int) *fabric.Network {
+	spec, err := fabric.ParseSpec(specText)
+	if err != nil {
+		fatal(err)
+	}
+	topo := topology.New(nodes, ppn, hcas)
+	nw, err := fabric.Build(nil, spec, topo, netmodel.Thor())
+	if err != nil {
+		fatal(err)
+	}
+	return nw
+}
+
+func describe(args []string) {
+	fs, spec, nodes, ppn, hcas := buildFlags("describe")
+	_ = fs.Parse(args)
+	build(*spec, *nodes, *ppn, *hcas).Describe(os.Stdout)
+}
+
+func route(args []string) {
+	fs, spec, nodes, ppn, hcas := buildFlags("route")
+	src := fs.Int("src", 0, "source node")
+	dst := fs.Int("dst", 1, "destination node")
+	all := fs.Bool("all", false, "print every pairwise route")
+	_ = fs.Parse(args)
+	nw := build(*spec, *nodes, *ppn, *hcas)
+	printRoute := func(s, d int) {
+		fmt.Printf("node%d -> node%d:", s, d)
+		links := nw.Route(s, d)
+		if len(links) == 0 {
+			fmt.Print(" (no shared links)")
+		}
+		for _, l := range links {
+			fmt.Printf(" %s", l.Name)
+		}
+		fmt.Println()
+	}
+	if *all {
+		for s := 0; s < *nodes; s++ {
+			for d := 0; d < *nodes; d++ {
+				if s != d {
+					printRoute(s, d)
+				}
+			}
+		}
+		return
+	}
+	if *src < 0 || *src >= *nodes || *dst < 0 || *dst >= *nodes {
+		fatal(fmt.Errorf("mhafabric: route %d -> %d outside a %d-node cluster", *src, *dst, *nodes))
+	}
+	printRoute(*src, *dst)
+}
+
+func sweep(args []string) {
+	fs := flag.NewFlagSet("mhafabric sweep", flag.ExitOnError)
+	full := fs.Bool("full", false, "run the paper-scale sweep instead of the quick one")
+	_ = fs.Parse(args)
+	ex, ok := bench.ByID("fabric")
+	if !ok {
+		fatal(fmt.Errorf("mhafabric: the fabric experiment is not registered"))
+	}
+	sc := bench.Quick
+	if *full {
+		sc = bench.Full
+	}
+	if err := ex.Run(os.Stdout, sc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

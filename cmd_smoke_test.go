@@ -514,3 +514,41 @@ func TestSmokeMhacomposeRejectsIncompletePipeline(t *testing.T) {
 		t.Fatalf("diagnostic unexpected:\n%s", out)
 	}
 }
+
+func TestSmokeMhafabricDescribeAndRoute(t *testing.T) {
+	out := run(t, "mhafabric", "describe", "-fabric", "ft:arity=2,levels=2,over=2", "-nodes", "8")
+	if !strings.Contains(out, "fattree") || !strings.Contains(out, "shared links: 8") {
+		t.Fatalf("describe output unexpected:\n%s", out)
+	}
+	out = run(t, "mhafabric", "route", "-fabric", "dfly:groups=2,routers=2,nodes=2", "-nodes", "8", "-src", "0", "-dst", "7")
+	if !strings.Contains(out, "node0 -> node7:") || !strings.Contains(out, "dfly.g0-g1") {
+		t.Fatalf("route output unexpected:\n%s", out)
+	}
+	// Same-leaf traffic crosses no shared links.
+	out = run(t, "mhafabric", "route", "-fabric", "ft:arity=2,levels=2,over=2", "-nodes", "4", "-src", "0", "-dst", "1")
+	if !strings.Contains(out, "no shared links") {
+		t.Fatalf("same-leaf route output unexpected:\n%s", out)
+	}
+}
+
+func TestSmokeMhafabricSweepMatchesGolden(t *testing.T) {
+	out := run(t, "mhafabric", "sweep")
+	want, err := os.ReadFile(filepath.Join("internal", "bench", "testdata", "golden", "fabric.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("sweep output drifted from the fabric golden:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestSmokeMhafabricRejectsBadSpec(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "mhafabric"), "describe", "-fabric", "torus:dims=3")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad fabric spec accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "fabric") {
+		t.Fatalf("diagnostic unexpected:\n%s", out)
+	}
+}

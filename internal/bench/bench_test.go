@@ -17,7 +17,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"15a", "15b", "15c", "16a", "16b", "17a", "17b", "17c",
 		"abl-phase2", "abl-overlap", "abl-offload", "abl-phase1", "abl-stripe", "abl-rails",
 		"abl-leaders", "ext-numa", "ext-coll", "ext-noise", "ext-fabric", "ext-overhead", "ext-apps",
-		"ext-validate", "ext-faults", "sched", "cluster", "compose",
+		"ext-validate", "ext-faults", "sched", "cluster", "compose", "fabric",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -100,6 +100,7 @@ func init() {
 	register("ext-coll", "extension: MHA bcast/alltoall vs flat baselines (paper future work)", runExtColl)
 	register("ext-noise", "extension: robustness of the comparison under OS/fabric jitter", runExtNoise)
 	register("ext-fabric", "extension: fat-tree oversubscription sensitivity", runExtFabric)
+	register("fabric", "fabric x algorithm sweep: locality family vs flat on structured networks", runFabricSweep)
 	register("ext-overhead", "extension: per-message software overhead sensitivity", runExtOverhead)
 	register("ext-apps", "extension: library sensitivity of all application kernels", runExtApps)
 	sort.SliceStable(registry, func(i, j int) bool { return false }) // keep insertion order

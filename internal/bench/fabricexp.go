@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mha/internal/collectives"
+	"mha/internal/fabric"
+	"mha/internal/mpi"
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// FabricAllgatherLatency measures one allgather of m bytes per rank by
+// registered algorithm name on a cluster whose inter-node traffic
+// crosses the given fabric (nil = flat non-blocking).
+func FabricAllgatherLatency(topo topology.Cluster, prm *netmodel.Params, m int, spec *fabric.Spec, alg string) sim.Duration {
+	run, ok := collectives.AllgatherByName(alg)
+	if !ok {
+		panic(fmt.Sprintf("bench: allgather %q is not registered", alg))
+	}
+	w := mpi.New(mpi.Config{Topo: topo, Params: prm, Phantom: true, Fabric: spec})
+	var worst sim.Time
+	if err := w.Run(func(p *mpi.Proc) {
+		run(p, w.CommWorld(), mpi.Phantom(m), mpi.Phantom(m*p.Size()))
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return sim.Duration(worst)
+}
+
+// fabricSweepSpecs returns the fabric rows of the sweep for a cluster of
+// the given node count: flat, fat-trees of increasing taper, and a
+// dragonfly that tiles the nodes.
+func fabricSweepSpecs(nodes int) []struct {
+	label string
+	spec  *fabric.Spec
+} {
+	ft := func(over float64) *fabric.Spec {
+		return &fabric.Spec{Kind: fabric.FatTree, Arity: 2, Levels: 2, Over: []float64{over}}
+	}
+	dfly := &fabric.Spec{Kind: fabric.Dragonfly, Groups: 2, Routers: 2,
+		NodesPer: nodes / 4, LocalOver: 1, GlobalOver: 2}
+	return []struct {
+		label string
+		spec  *fabric.Spec
+	}{
+		{"flat", nil},
+		{"ft 1:1", ft(1)},
+		{"ft 2:1", ft(2)},
+		{"ft 4:1", ft(4)},
+		{"dfly 2:1g", dfly},
+	}
+}
+
+// fabricSweepAlgs are the algorithm columns of the sweep: the two flat
+// reference algorithms and the locality family's representatives.
+var fabricSweepAlgs = []string{"rd", "ring", "locality-ring", "locality-bruck", "hier-bruck-ml"}
+
+func runFabricSweep(w io.Writer, sc Scale) error {
+	prm := netmodel.Thor()
+	nodes, ppn := 8, 4
+	if sc == Quick {
+		nodes, ppn = 4, 2
+	}
+	m := 64 << 10
+	for _, layout := range []topology.Layout{topology.Block, topology.Cyclic} {
+		topo := topology.Cluster{Nodes: nodes, PPN: ppn, HCAs: 2, Layout: layout}
+		if err := topo.Validate(); err != nil {
+			return err
+		}
+		cols := append([]string{"fabric"}, fabricSweepAlgs...)
+		t := NewTable(fmt.Sprintf("Fabric sweep: %v, %s/rank (us)", topo, SizeLabel(m)), cols...)
+		t.Notes = "locality variants route most bytes under the leaf switches; " +
+			"flat rd/ring pay the full taper on every cross-leaf step"
+		for _, row := range fabricSweepSpecs(nodes) {
+			cells := []interface{}{row.label}
+			for _, alg := range fabricSweepAlgs {
+				cells = append(cells, FabricAllgatherLatency(topo, prm, m, row.spec, alg).Micros())
+			}
+			t.Add(cells...)
+		}
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FabricRouteMicros is the wall-clock cost of building a mid-size
+// fat-tree network — links, capacities, and the full pairwise route
+// table — in microseconds. It is a serving-path number (mhafabric and
+// every World construction pay it), so it rides tier 1 as the one
+// wall-clock fabric probe.
+func FabricRouteMicros() float64 {
+	spec := fabric.Spec{Kind: fabric.FatTree, Arity: 4, Levels: 3, Over: []float64{2, 2}}
+	topo := topology.New(64, 4, 2)
+	const iters = 10
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := fabric.Build(nil, spec, topo, netmodel.Thor()); err != nil {
+			panic(err)
+		}
+	}
+	return float64(time.Since(start)) / float64(time.Microsecond) / iters
+}

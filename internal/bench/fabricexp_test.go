@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"mha/internal/fabric"
+	"mha/internal/netmodel"
+	"mha/internal/sim"
+	"mha/internal/topology"
+)
+
+// TestFabricTaperMonotonic pins the sweep's physics: on a fat-tree,
+// tightening the taper can only slow an algorithm down, and the flat
+// fabric is never slower than any tapered one.
+func TestFabricTaperMonotonic(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.New(8, 4, 2)
+	m := 64 << 10
+	ft := func(over float64) *fabric.Spec {
+		return &fabric.Spec{Kind: fabric.FatTree, Arity: 2, Levels: 2, Over: []float64{over}}
+	}
+	for _, alg := range fabricSweepAlgs {
+		flat := FabricAllgatherLatency(topo, prm, m, nil, alg)
+		prev := flat
+		for _, over := range []float64{1, 2, 4} {
+			d := FabricAllgatherLatency(topo, prm, m, ft(over), alg)
+			if d < prev {
+				t.Errorf("%s: taper %v:1 ran in %v, faster than the looser fabric's %v", alg, over, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestFabricCrossover is the acceptance claim in bench form: on a 2:1
+// oversubscribed fat-tree with a cyclic rank layout, the best locality
+// variant beats the best flat algorithm, while on the flat fabric the
+// flat algorithms remain competitive (within 2x).
+func TestFabricCrossover(t *testing.T) {
+	prm := netmodel.Thor()
+	topo := topology.Cluster{Nodes: 8, PPN: 4, HCAs: 2, Layout: topology.Cyclic}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := 64 << 10
+	ft := &fabric.Spec{Kind: fabric.FatTree, Arity: 2, Levels: 2, Over: []float64{2}}
+	best := func(spec *fabric.Spec, algs []string) (string, sim.Duration) {
+		name, d := "", sim.Duration(0)
+		for _, alg := range algs {
+			if v := FabricAllgatherLatency(topo, prm, m, spec, alg); name == "" || v < d {
+				name, d = alg, v
+			}
+		}
+		return name, d
+	}
+	flatAlgs := []string{"ring", "rd", "bruck", "direct", "neighbor"}
+	locAlgs := []string{"locality-p2p", "locality-ring", "locality-bruck", "hier-bruck-ml"}
+	flatName, flatBest := best(ft, flatAlgs)
+	locName, locBest := best(ft, locAlgs)
+	if locBest >= flatBest {
+		t.Errorf("on the 2:1 fat-tree, best locality %s (%v) does not beat best flat %s (%v)",
+			locName, locBest, flatName, flatBest)
+	}
+	_, flatFlat := best(nil, flatAlgs)
+	_, locFlat := best(nil, locAlgs)
+	if locFlat > 2*flatFlat {
+		t.Errorf("on the flat fabric, best locality variant (%v) is more than 2x the best flat algorithm (%v)",
+			locFlat, flatFlat)
+	}
+}

@@ -111,7 +111,8 @@ func maskWallClock(t *testing.T, data []byte) string {
 		t.Fatalf("tier-1 render does not parse: %v", err)
 	}
 	for k := range m {
-		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") || k == "compose-lower-us" {
+		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") ||
+			k == "compose-lower-us" || k == "fabric-route-us" {
 			m[k] = 0
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"mha/internal/cluster"
 	"mha/internal/core"
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/netmodel"
 	"mha/internal/sim"
@@ -62,6 +63,18 @@ func Tier1(sc Scale) []Tier1Metric {
 	out = append(out, Tier1Metric{
 		ID:     "fig15-allreduce-mha-1m",
 		Micros: AllreduceLatency(inter, prm, 1<<20, core.Profile()).Micros(),
+	})
+	// Fabric probes: the locality-ring allgather on a 2:1-oversubscribed
+	// fat-tree (modeled), and the wall-clock cost of building a fabric's
+	// route table.
+	ftSpec := fabric.Spec{Kind: fabric.FatTree, Arity: 2, Levels: 2, Over: []float64{2}}
+	out = append(out, Tier1Metric{
+		ID:     "fabric-ft-ag-4x2x2-64k",
+		Micros: FabricAllgatherLatency(topology.New(4, 2, 2), prm, 64<<10, &ftSpec, "locality-ring").Micros(),
+	})
+	out = append(out, Tier1Metric{
+		ID:     "fabric-route-us",
+		Micros: FabricRouteMicros(),
 	})
 	clusterTopo := topology.New(8, 4, 2)
 	for _, policy := range []string{cluster.Packed, cluster.RailAware} {

@@ -29,6 +29,9 @@ const (
 	phaseBcast
 	phaseRS // reduce-scatter
 	phaseARAG
+	phaseLocGather // locality family: intra-group gather to the group leader
+	phaseLocX      // locality family: inter-group exchange
+	phaseLocBcast  // locality family: intra-group distribution
 )
 
 // checkAllgatherArgs validates an allgather call: recv must hold exactly

@@ -26,6 +26,10 @@ func Allgathers() []NamedAllgather {
 		{Name: "bruck", Run: BruckAllgather},
 		{Name: "direct", Run: DirectSpreadAllgather},
 		{Name: "neighbor", Run: NeighborExchangeAllgather},
+		{Name: "locality-p2p", Run: LocalityP2PAllgather},
+		{Name: "locality-ring", Run: LocalityRingAllgather},
+		{Name: "locality-bruck", Run: LocalityBruckAllgather},
+		{Name: "hier-bruck-ml", Run: HierBruckMLAllgather},
 	}
 }
 

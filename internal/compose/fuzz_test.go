@@ -25,7 +25,7 @@ func FuzzParseHierarchy(f *testing.F) {
 		if err != nil {
 			t.Fatalf("canonical form %q of %q does not reparse: %v", h.String(), spec, err)
 		}
-		if again.Topo != h.Topo {
+		if !again.Topo.Equal(h.Topo) {
 			t.Fatalf("round trip drifted: %+v vs %+v (input %q)", again.Topo, h.Topo, spec)
 		}
 	})

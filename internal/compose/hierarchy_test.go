@@ -27,7 +27,7 @@ func TestHierarchyRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reparse %q: %v", h.String(), err)
 		}
-		if again.Topo != h.Topo {
+		if !again.Topo.Equal(h.Topo) {
 			t.Errorf("reparse changed topo: %+v vs %+v", again.Topo, h.Topo)
 		}
 	}
@@ -39,7 +39,7 @@ func TestHierarchyDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := topology.Cluster{Nodes: 2, PPN: 3, HCAs: 1, Layout: topology.Block}
-	if h.Topo != want {
+	if !h.Topo.Equal(want) {
 		t.Errorf("defaults: got %+v, want %+v", h.Topo, want)
 	}
 }

@@ -21,6 +21,8 @@ type Options struct {
 	Nodes, PPN, HCAs int
 	// Msg is the per-rank contribution in bytes.
 	Msg int
+	// Fabric is an internal/fabric spec ("" means flat).
+	Fabric string
 	// FaultBudget selects fault placements: 0 explores only the healthy
 	// world, 1 adds every single (node, rail) Down placement. Larger
 	// budgets are not supported.
@@ -130,7 +132,7 @@ func Run(opt Options) (*Report, error) {
 	for _, alg := range opt.Algs {
 		for _, pl := range placements {
 			base := Spec{Alg: alg, Nodes: opt.Nodes, PPN: opt.PPN,
-				HCAs: opt.HCAs, Msg: opt.Msg, Fault: pl}
+				HCAs: opt.HCAs, Msg: opt.Msg, Fabric: opt.Fabric, Fault: pl}
 			if err := base.Validate(); err != nil {
 				return nil, err
 			}

@@ -54,6 +54,9 @@ func shrinkCandidates(s Spec) []Spec {
 	if !s.Fault.Healthy() {
 		with(func(c *Spec) { c.Fault = NoFault })
 	}
+	if s.Fabric != "" {
+		with(func(c *Spec) { c.Fabric = "" })
+	}
 	if n := len(s.Choices); n > 1 {
 		with(func(c *Spec) { c.Choices = c.Choices[:n/2] })
 		with(func(c *Spec) { c.Choices = c.Choices[:n-1] })

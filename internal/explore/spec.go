@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/sim"
 	"mha/internal/verify"
@@ -84,15 +85,21 @@ func parsePlacement(s string) (Placement, error) {
 type Spec struct {
 	Alg                   string
 	Nodes, PPN, HCAs, Msg int
-	Fault                 Placement
-	Choices               []int
+	// Fabric is an internal/fabric spec ("" means flat); the explored
+	// world's inter-node traffic then crosses shared fabric links.
+	Fabric  string
+	Fault   Placement
+	Choices []int
 }
 
 // String renders the one-line form ParseSpec reads.
 func (s Spec) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "alg=%s nodes=%d ppn=%d hcas=%d msg=%d fault=%s sched=",
-		s.Alg, s.Nodes, s.PPN, s.HCAs, s.Msg, s.Fault)
+	fmt.Fprintf(&b, "alg=%s nodes=%d ppn=%d hcas=%d msg=%d", s.Alg, s.Nodes, s.PPN, s.HCAs, s.Msg)
+	if s.Fabric != "" {
+		fmt.Fprintf(&b, " fabric=%s", s.Fabric)
+	}
+	fmt.Fprintf(&b, " fault=%s sched=", s.Fault)
 	if len(s.Choices) == 0 {
 		b.WriteString("canonical")
 		return b.String()
@@ -129,6 +136,14 @@ func ParseSpec(line string) (Spec, error) {
 			s.HCAs, err = strconv.Atoi(v)
 		case "msg":
 			s.Msg, err = strconv.Atoi(v)
+		case "fabric":
+			var fs fabric.Spec
+			if fs, err = fabric.ParseSpec(v); err == nil {
+				s.Fabric = fs.String()
+				if fs.Kind == fabric.Flat {
+					s.Fabric = ""
+				}
+			}
 		case "fault":
 			s.Fault, err = parsePlacement(v)
 		case "sched":
@@ -183,7 +198,7 @@ func (s Spec) Validate() error {
 func (s Spec) scenario() (verify.Scenario, error) {
 	sc := verify.Scenario{
 		Alg: s.Alg, Nodes: s.Nodes, PPN: s.PPN, HCAs: s.HCAs,
-		Msg: s.Msg, Seed: 1,
+		Msg: s.Msg, Seed: 1, Fabric: s.Fabric,
 	}
 	if !s.Fault.Healthy() {
 		sched, err := faults.New(faults.Fault{

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"testing"
+
+	"mha/internal/netmodel"
+	"mha/internal/topology"
+)
+
+// FuzzParseFabricSpec drives the spec parser with hostile input. The
+// parser must never panic; on accepted input the spec must validate,
+// render to canonical text that reparses to the identical spec, and
+// build a network over a small cluster without panicking (dragonfly
+// node-count mismatches are allowed to error, not crash).
+func FuzzParseFabricSpec(f *testing.F) {
+	seeds := []string{
+		"", "flat",
+		"ft:arity=4,levels=2,over=2",
+		"ft:arity=2,over=4:1/2:1",
+		"ft:arity=1,levels=2,over=2",
+		"fattree:arity=8,over=3:2",
+		"dfly:groups=2,routers=2,nodes=2,local=1,global=2:1",
+		"dragonfly:groups=4,routers=4,nodesper=2",
+		"ft:arity=0", "ft:arity=4,bogus=1", "dfly:groups=2",
+		"ft:arity=4,over=NaN", "mesh:x=1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	prm := netmodel.Thor()
+	topo := topology.New(8, 1, 2)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid spec: %v", in, verr)
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical %q (from %q) does not reparse: %v", canon, in, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical text not a fixed point: %q -> %q", canon, again.String())
+		}
+		if nw, err := Build(nil, s, topo, prm); err == nil {
+			for src := 0; src < topo.Nodes; src++ {
+				for dst := 0; dst < topo.Nodes; dst++ {
+					for _, l := range nw.Route(src, dst) {
+						if l == nil || !(l.BW > 0) {
+							t.Fatalf("spec %q: route %d->%d has bad link", canon, src, dst)
+						}
+					}
+				}
+			}
+		}
+	})
+}

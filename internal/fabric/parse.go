@@ -1,0 +1,166 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the compact fabric spec grammar. It never panics on
+// hostile input (fuzzed), rejects unknown and duplicate keys, and only
+// returns specs that Validate. The empty string and "flat" both mean
+// the flat fabric.
+func ParseSpec(text string) (Spec, error) {
+	t := strings.TrimSpace(text)
+	if t == "" || t == "flat" {
+		return Spec{Kind: Flat}, nil
+	}
+	head, rest, ok := strings.Cut(t, ":")
+	if !ok {
+		return Spec{}, fmt.Errorf("fabric: spec %q: want flat, ft:... or dfly:...", text)
+	}
+	var s Spec
+	var err error
+	switch head {
+	case "ft", "fattree":
+		s, err = parseFatTree(rest)
+	case "dfly", "dragonfly":
+		s, err = parseDragonfly(rest)
+	default:
+		return Spec{}, fmt.Errorf("fabric: unknown fabric kind %q", head)
+	}
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MustParse is ParseSpec for statically known specs (tests, tables).
+func MustParse(text string) Spec {
+	s, err := ParseSpec(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseFatTree(rest string) (Spec, error) {
+	s := Spec{Kind: FatTree, Levels: 2}
+	sawLevels := false
+	err := eachField(rest, func(key, val string) error {
+		switch key {
+		case "arity":
+			return parseInt(val, &s.Arity)
+		case "levels":
+			sawLevels = true
+			return parseInt(val, &s.Levels)
+		case "over":
+			for _, part := range strings.Split(val, "/") {
+				o, err := parseFactor(part)
+				if err != nil {
+					return err
+				}
+				s.Over = append(s.Over, o)
+			}
+			return nil
+		default:
+			return fmt.Errorf("fabric: unknown fat-tree key %q", key)
+		}
+	})
+	if err != nil {
+		return Spec{}, err
+	}
+	if s.Arity == 0 {
+		return Spec{}, fmt.Errorf("fabric: fat-tree spec needs arity=")
+	}
+	if !sawLevels && len(s.Over) > 1 {
+		// Taper list implies the trunk-level count.
+		s.Levels = len(s.Over) + 1
+	}
+	// Missing trailing tapers read as full bisection.
+	for s.Levels >= 2 && len(s.Over) < s.Levels-1 {
+		s.Over = append(s.Over, 1)
+	}
+	return s, nil
+}
+
+func parseDragonfly(rest string) (Spec, error) {
+	s := Spec{Kind: Dragonfly, NodesPer: 1, LocalOver: 1, GlobalOver: 1}
+	err := eachField(rest, func(key, val string) error {
+		switch key {
+		case "groups":
+			return parseInt(val, &s.Groups)
+		case "routers":
+			return parseInt(val, &s.Routers)
+		case "nodes", "nodesper":
+			return parseInt(val, &s.NodesPer)
+		case "local":
+			o, err := parseFactor(val)
+			s.LocalOver = o
+			return err
+		case "global":
+			o, err := parseFactor(val)
+			s.GlobalOver = o
+			return err
+		default:
+			return fmt.Errorf("fabric: unknown dragonfly key %q", key)
+		}
+	})
+	if err != nil {
+		return Spec{}, err
+	}
+	if s.Groups == 0 || s.Routers == 0 {
+		return Spec{}, fmt.Errorf("fabric: dragonfly spec needs groups= and routers=")
+	}
+	return s, nil
+}
+
+// eachField walks "k=v,k=v" fields, rejecting malformed and duplicate
+// keys.
+func eachField(rest string, fn func(key, val string) error) error {
+	seen := map[string]bool{}
+	for _, field := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" || val == "" {
+			return fmt.Errorf("fabric: malformed field %q (want key=value)", field)
+		}
+		if seen[key] {
+			return fmt.Errorf("fabric: duplicate key %q", key)
+		}
+		seen[key] = true
+		if err := fn(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseInt(val string, dst *int) error {
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return fmt.Errorf("fabric: bad count %q", val)
+	}
+	*dst = n
+	return nil
+}
+
+// parseFactor reads an oversubscription factor: a plain float ("2",
+// "1.5") or a ratio ("2:1", "3:2").
+func parseFactor(val string) (float64, error) {
+	if num, den, ok := strings.Cut(val, ":"); ok {
+		a, err1 := strconv.ParseFloat(num, 64)
+		b, err2 := strconv.ParseFloat(den, 64)
+		if err1 != nil || err2 != nil || !(b > 0) {
+			return 0, fmt.Errorf("fabric: bad oversubscription ratio %q", val)
+		}
+		return a / b, nil
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fabric: bad oversubscription %q", val)
+	}
+	return f, nil
+}

@@ -16,7 +16,7 @@ var detnowPass = &Pass{
 	Scope: scopeIn(
 		"internal/sim", "internal/mpi", "internal/sched",
 		"internal/cluster", "internal/collectives", "internal/explore",
-		"internal/compose",
+		"internal/compose", "internal/fabric",
 	),
 	Run: runDetnow,
 }

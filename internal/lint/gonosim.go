@@ -18,7 +18,7 @@ var gonosimPass = &Pass{
 	Scope: scopeIn(
 		"internal/sim", "internal/mpi", "internal/sched", "internal/cluster",
 		"internal/collectives", "internal/core", "internal/verify",
-		"internal/explore", "internal/compose",
+		"internal/explore", "internal/compose", "internal/fabric",
 	),
 	Run: runGonosim,
 }

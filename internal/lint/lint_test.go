@@ -106,7 +106,9 @@ func TestScopes(t *testing.T) {
 		{detnowPass, "mha/internal/collectives", true},
 		{detnowPass, "mha/internal/bench", false},
 		{detnowPass, "mha/internal/lint/testdata/src/detnow", true},
+		{detnowPass, "mha/internal/fabric", true},
 		{gonosimPass, "mha/internal/core", true},
+		{gonosimPass, "mha/internal/fabric", true},
 		{gonosimPass, "mha/internal/trace", false},
 		{waitpairPass, "mha/internal/apps/stencil", true},
 		{waitpairPass, "mha/internal/lint", false},

@@ -113,15 +113,20 @@ func (h *RailHealth) PlanRails(node int) int {
 
 // bestRail picks the healthiest rail of the src->dst link at t, excluding
 // `avoid` (pass -1 to consider every rail): the up rail with the highest
-// surviving fraction, ties to the lowest index. If every candidate is
-// down, it returns the rail that recovers earliest (again ties to the
-// lowest index) — the caller queues on it and the resource model charges
-// the remaining outage. The second result reports whether the chosen rail
-// is up right now.
-func (h *RailHealth) bestRail(srcNode, dstNode, rail int, avoid int, t sim.Time) (int, bool) {
+// surviving fraction, ties to the lowest index. Candidates are bounded to
+// [0, lim) — on heterogeneous pairs the caller passes the weaker
+// endpoint's rail count so the pick always exists at both ends. If every
+// candidate is down, it returns the rail that recovers earliest (again
+// ties to the lowest index) — the caller queues on it and the resource
+// model charges the remaining outage. The second result reports whether
+// the chosen rail is up right now.
+func (h *RailHealth) bestRail(srcNode, dstNode, rail int, avoid int, lim int, t sim.Time) (int, bool) {
 	_ = rail // reserved: preferred-rail affinity
+	if lim <= 0 || lim > h.hcas {
+		lim = h.hcas
+	}
 	best, bestFrac := -1, 0.0
-	for r := 0; r < h.hcas; r++ {
+	for r := 0; r < lim; r++ {
 		if r == avoid {
 			continue
 		}
@@ -134,7 +139,7 @@ func (h *RailHealth) bestRail(srcNode, dstNode, rail int, avoid int, t sim.Time)
 	}
 	// Everything (considered) is down: earliest recovery wins.
 	soonest, at := 0, faults.Forever
-	for r := 0; r < h.hcas; r++ {
+	for r := 0; r < lim; r++ {
 		if up := h.NextUp(srcNode, dstNode, r, t); up < at {
 			soonest, at = r, up
 		}

@@ -139,7 +139,12 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	dstNodeID := p.w.topo.NodeOf(wdst)
 	srcNode := p.w.nodes[srcNodeID]
 	dstNode := p.w.nodes[dstNodeID]
+	// A transfer occupies the same rail index at both ends, so a
+	// heterogeneous pair is limited to the rails the weaker endpoint has.
 	H := len(srcNode.hcas)
+	if dh := len(dstNode.hcas); dh < H {
+		H = dh
+	}
 	health := p.w.health
 	consult := health.Faulty() && !p.w.faultBlind
 	now := p.Now()
@@ -153,20 +158,28 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	var pieces []int
 	switch {
 	case o.rail >= 0:
-		if o.rail >= H {
-			panic(fmt.Sprintf("mpi: rail %d out of range (H=%d)", o.rail, H))
-		}
 		r := o.rail
+		if r >= H {
+			if !p.w.topo.Heterogeneous() {
+				panic(fmt.Sprintf("mpi: rail %d out of range (H=%d)", o.rail, H))
+			}
+			// A planner pinned a rail the weaker endpoint of this
+			// heterogeneous pair lacks: wrap onto the shared rails so the
+			// schedule stays correct, and record the deviation.
+			c := r % H
+			p.trace(trace.CatFault, fmt.Sprintf("railclamp(rail%d->rail%d)", r, c), now, now, wdst, n)
+			r = c
+		}
 		if consult && !health.Up(srcNodeID, r, now) ||
 			consult && !health.Up(dstNodeID, r, now) {
-			alt, up := health.bestRail(srcNodeID, dstNodeID, r, r, now)
+			alt, up := health.bestRail(srcNodeID, dstNodeID, r, r, H, now)
 			if up {
 				p.trace(trace.CatFault, fmt.Sprintf("failover(rail%d->rail%d)", r, alt), now, now, wdst, n)
 				r = alt
 			} else {
 				// Every rail is down: queue on the one that recovers
 				// first; the resource's rate profile charges the wait.
-				alt, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, now)
+				alt, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, H, now)
 				p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", alt), now, now, wdst, n)
 				r = alt
 			}
@@ -175,11 +188,12 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	case !o.noStripe && prm.ShouldStripe(n) && H > 1:
 		if consult {
 			rails, pieces = p.stripeByHealth(srcNodeID, dstNodeID, wdst, n, H, now)
+		} else if scales := p.railScales(H); scales != nil {
+			// Asymmetric rails: split in proportion to deliverable
+			// bandwidth so every rail finishes its share together.
+			rails, pieces = dropEmptyPieces(railList(H), netmodel.RailChunkWeighted(n, scales))
 		} else {
-			rails = make([]int, H)
-			for i := range rails {
-				rails[i] = i
-			}
+			rails = railList(H)
 			pieces = netmodel.RailChunk(n, H)
 		}
 	default:
@@ -198,7 +212,7 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 				p.trace(trace.CatFault, fmt.Sprintf("failover(rail%d->rail%d)", r, picked), now, now, wdst, n)
 				r = picked
 			} else {
-				picked, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, now)
+				picked, _ = health.bestRail(srcNodeID, dstNodeID, r, -1, H, now)
 				p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", picked), now, now, wdst, n)
 				r = picked
 			}
@@ -215,34 +229,35 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 		extraLat = append(extraLat, health.LinkExtraLatency(srcNodeID, dstNodeID, r, now))
 	}
 
-	// On a fat-tree fabric, cross-leaf pieces additionally hold their leaf
-	// switches' shared up/downlinks for the time the piece takes at the
-	// leaf's aggregate rate — the contention point of an oversubscribed
-	// tree. Same-leaf (and loopback) traffic never leaves the leaf.
-	srcLeaf := p.w.leafOf(p.rs.node)
-	dstLeaf := p.w.leafOf(p.w.topo.NodeOf(wdst))
-	crossLeaf := srcLeaf != nil && srcLeaf != dstLeaf
+	// On a structured fabric, pieces whose endpoints sit under different
+	// switches additionally hold every shared link on their route — the
+	// contention points of an oversubscribed tree or a dragonfly's
+	// local/global channels. Same-switch (and loopback) traffic never
+	// enters the fabric.
+	path := p.w.routeOf(srcNodeID, dstNodeID)
 
 	var end sim.Time
 	var start sim.Time = -1
 	for i, r := range rails {
-		d := p.w.perturb(prm.AlphaHCA+rendezvous+sim.FromSeconds(float64(pieces[i])/prm.BWHCA)) + extraLat[i]
+		bw := prm.BWHCA
+		if p.w.topo.RailBW != nil {
+			bw = prm.RailBW(p.w.topo.RailScale(r))
+		}
+		d := p.w.perturb(prm.AlphaHCA+rendezvous+sim.FromSeconds(float64(pieces[i])/bw)) + extraLat[i]
 		s, e := sim.AcquireTogether(d, srcNode.hcas[r].tx, dstNode.hcas[r].rx)
 		srcNode.hcas[r].tx.MarkOwner(o.owner)
 		dstNode.hcas[r].rx.MarkOwner(o.owner)
-		if crossLeaf {
-			// The piece also consumes leaf up/downlink capacity from the
-			// moment it starts injecting; a piece is only delivered once
-			// the (FIFO, aggregate-rate) fabric stage has carried it. On a
-			// full-bisection tree the fabric keeps up and this never
-			// extends the endpoint time; tapered uplinks queue here.
-			leafD := sim.FromSeconds(float64(pieces[i]) / prm.LeafUplinkBW(H))
-			if _, e2 := srcLeaf.up.AcquireAfter(s, leafD); e2 > e {
+		for _, lk := range path {
+			// The piece consumes each route link's capacity from the
+			// moment it starts injecting; it is only delivered once every
+			// (FIFO, aggregate-rate) fabric stage has carried it. On a
+			// full-bisection fabric the links keep up and this never
+			// extends the endpoint time; tapered links queue here.
+			lkD := sim.FromSeconds(float64(pieces[i]) / lk.BW)
+			if _, e2 := lk.Res.AcquireAfter(s, lkD); e2 > e {
 				e = e2
 			}
-			if _, e3 := dstLeaf.down.AcquireAfter(s, leafD); e3 > e {
-				e = e3
-			}
+			lk.Res.MarkOwner(o.owner)
 		}
 		if start < 0 || s < start {
 			start = s
@@ -255,14 +270,47 @@ func (p *Proc) sendHCA(wdst, n int, o sendOpts) sim.Time {
 	return end
 }
 
+// railScales returns the first H per-rail bandwidth scales, or nil when
+// every rail runs at nominal rate (the homogeneous fast path).
+func (p *Proc) railScales(H int) []float64 {
+	if p.w.topo.RailBW == nil {
+		return nil
+	}
+	return p.w.topo.RailBW[:H]
+}
+
+// railList returns [0..H).
+func railList(H int) []int {
+	rails := make([]int, H)
+	for i := range rails {
+		rails[i] = i
+	}
+	return rails
+}
+
+// dropEmptyPieces removes zero-byte pieces so no startup cost is paid
+// for rails a weighted split rounded down to nothing.
+func dropEmptyPieces(rails, pieces []int) ([]int, []int) {
+	outR, outP := rails[:0], pieces[:0]
+	for i := range rails {
+		if pieces[i] > 0 {
+			outR = append(outR, rails[i])
+			outP = append(outP, pieces[i])
+		}
+	}
+	return outR, outP
+}
+
 // stripeByHealth plans a striped transfer over the surviving rails of the
 // src->dst link: dead rails are skipped and each piece is sized in
-// proportion to its rail's surviving bandwidth fraction, so every rail
+// proportion to its rail's surviving bandwidth fraction (times its
+// asymmetric-rail scale, when the cluster has one), so every rail
 // finishes its share at the same moment despite unequal degradation. Any
 // deviation from the healthy equal split is recorded as a CatFault event
 // naming the piece layout.
 func (p *Proc) stripeByHealth(srcNodeID, dstNodeID, wdst, n, H int, now sim.Time) (rails, pieces []int) {
 	health := p.w.health
+	scales := p.railScales(H)
 	var fracs []float64
 	allHealthy := true
 	for r := 0; r < H; r++ {
@@ -279,23 +327,28 @@ func (p *Proc) stripeByHealth(srcNodeID, dstNodeID, wdst, n, H int, now sim.Time
 	case len(rails) == 0:
 		// Nothing is up: fall back to the rail that recovers first and
 		// let the rate profile charge the remaining outage.
-		r, _ := health.bestRail(srcNodeID, dstNodeID, 0, -1, now)
+		r, _ := health.bestRail(srcNodeID, dstNodeID, 0, -1, H, now)
 		p.trace(trace.CatFault, fmt.Sprintf("raildown(wait rail%d)", r), now, now, wdst, n)
 		return []int{r}, []int{n}
-	case allHealthy:
+	case allHealthy && scales == nil:
 		return rails, netmodel.RailChunk(n, H)
+	case allHealthy:
+		// Every rail is up; only the hardware asymmetry shapes the split,
+		// which is the expected plan — no fault event.
+		return dropEmptyPieces(rails, netmodel.RailChunkWeighted(n, scales))
 	}
-	pieces = netmodel.RailChunkWeighted(n, fracs)
+	weights := fracs
+	if scales != nil {
+		sub := make([]float64, len(rails))
+		for i, r := range rails {
+			sub[i] = scales[r]
+		}
+		weights = netmodel.RailWeights(fracs, sub)
+	}
+	pieces = netmodel.RailChunkWeighted(n, weights)
 	// Drop pieces rounded down to nothing so we don't pay startup costs
 	// for empty transfers.
-	outR, outP := rails[:0], pieces[:0]
-	for i := range rails {
-		if pieces[i] > 0 {
-			outR = append(outR, rails[i])
-			outP = append(outP, pieces[i])
-		}
-	}
-	rails, pieces = outR, outP
+	rails, pieces = dropEmptyPieces(rails, pieces)
 	var b strings.Builder
 	for i := range rails {
 		if i > 0 {

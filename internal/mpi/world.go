@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/netmodel"
 	"mha/internal/sim"
@@ -47,6 +48,11 @@ type Config struct {
 	// robin sends queue on dead rails. This is the naive baseline the
 	// health-aware path is measured against.
 	FaultBlind bool
+	// Fabric, when non-nil, selects the structured inter-node network
+	// (fat-tree or dragonfly) whose shared links cross-node traffic must
+	// traverse. Nil falls back to the legacy Params.NodesPerLeaf two-level
+	// tree when that is set, else the flat non-blocking fabric.
+	Fabric *fabric.Spec
 }
 
 // World is one simulated MPI job. Create it with New, then call Run with
@@ -60,7 +66,7 @@ type World struct {
 	phantom    bool
 	nodes      []*node
 	ranks      []*rankState
-	leaves     []*leafSwitch // nil on a non-blocking fabric
+	net        *fabric.Network // nil on a flat (non-blocking) fabric
 	health     *RailHealth
 	faultBlind bool
 
@@ -90,13 +96,6 @@ type node struct {
 type hca struct {
 	tx *sim.Resource
 	rx *sim.Resource
-}
-
-// leafSwitch is one fat-tree leaf: shared aggregate up- and downlinks
-// that every cross-leaf transfer of its nodes must traverse.
-type leafSwitch struct {
-	up   *sim.Resource
-	down *sim.Resource
 }
 
 // rankState is the engine-side state of one rank.
@@ -150,18 +149,21 @@ func New(cfg Config) *World {
 		w.health = &RailHealth{hcas: cfg.Topo.HCAs}
 	}
 	w.faultBlind = cfg.FaultBlind
-	if prm.NodesPerLeaf > 0 {
-		leaves := (cfg.Topo.Nodes + prm.NodesPerLeaf - 1) / prm.NodesPerLeaf
-		for l := 0; l < leaves; l++ {
-			w.leaves = append(w.leaves, &leafSwitch{
-				up:   eng.NewResource(fmt.Sprintf("leaf%d.up", l)),
-				down: eng.NewResource(fmt.Sprintf("leaf%d.down", l)),
-			})
+	fspec := cfg.Fabric
+	if fspec == nil && prm.NodesPerLeaf > 0 {
+		s := fabric.TwoLevel(prm.NodesPerLeaf, prm.Oversubscription)
+		fspec = &s
+	}
+	if fspec != nil && fspec.Kind != fabric.Flat {
+		nw, err := fabric.Build(eng, *fspec, cfg.Topo, prm)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: %v", err))
 		}
+		w.net = nw
 	}
 	for n := 0; n < cfg.Topo.Nodes; n++ {
 		nd := &node{id: n, mem: eng.NewGauge(fmt.Sprintf("node%d.mem", n)), shms: map[string]*Shm{}}
-		for h := 0; h < cfg.Topo.HCAs; h++ {
+		for h := 0; h < cfg.Topo.HCAsOf(n); h++ {
 			a := &hca{
 				tx: eng.NewResource(fmt.Sprintf("node%d.hca%d.tx", n, h)),
 				rx: eng.NewResource(fmt.Sprintf("node%d.hca%d.rx", n, h)),
@@ -235,13 +237,18 @@ func New(cfg Config) *World {
 	return w
 }
 
-// leafOf returns the leaf switch of a node, or nil on a non-blocking
-// fabric.
-func (w *World) leafOf(nodeID int) *leafSwitch {
-	if w.leaves == nil {
+// Fabric returns the structured inter-node network, or nil on a flat
+// (non-blocking) fabric.
+func (w *World) Fabric() *fabric.Network { return w.net }
+
+// routeOf returns the shared fabric links between two nodes (nil for
+// same-node traffic or a flat fabric). The route table is immutable
+// after New, so concurrent rank processes may read it freely.
+func (w *World) routeOf(srcNode, dstNode int) []*fabric.Link {
+	if w.net == nil || srcNode == dstNode {
 		return nil
 	}
-	return w.leaves[nodeID/w.prm.NodesPerLeaf]
+	return w.net.Route(srcNode, dstNode)
 }
 
 // SocketComm returns the communicator of one NUMA socket's ranks. It

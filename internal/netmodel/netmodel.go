@@ -299,6 +299,34 @@ func RailChunkWeighted(n int, weights []float64) []int {
 	return out
 }
 
+// RailBW is the line rate of one rail under an asymmetric-rail scale
+// (topology.Cluster.RailScale). A non-positive scale reads as unset and
+// yields the nominal rate, so homogeneous worlds price identically with
+// or without a scale table.
+func (p *Params) RailBW(scale float64) float64 {
+	if scale <= 0 {
+		return p.BWHCA
+	}
+	return p.BWHCA * scale
+}
+
+// RailWeights combines per-rail surviving health fractions with
+// per-rail bandwidth scales into the striping weights RailChunkWeighted
+// expects: weight i = frac[i] * scale[i]. scales may be nil (all
+// nominal). The result is proportional to each rail's deliverable
+// bandwidth, so the stripe finishes evenly across asymmetric rails.
+func RailWeights(fracs, scales []float64) []float64 {
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		s := 1.0
+		if scales != nil {
+			s = scales[i]
+		}
+		out[i] = f * s
+	}
+	return out
+}
+
 // EffectiveBW is the effective-bandwidth lookup for a (possibly degraded)
 // rail: the rail's line rate scaled by the fault schedule's surviving
 // fraction. Zero means the rail is down.

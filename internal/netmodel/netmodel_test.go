@@ -225,3 +225,28 @@ func TestCopyTimeShape(t *testing.T) {
 		t.Fatal("zero-byte copy should cost alpha only")
 	}
 }
+
+func TestRailBWScale(t *testing.T) {
+	p := Thor()
+	if p.RailBW(0) != p.BWHCA || p.RailBW(1) != p.BWHCA {
+		t.Fatal("unset/nominal scale should price at BWHCA")
+	}
+	if p.RailBW(0.5) != p.BWHCA*0.5 {
+		t.Fatal("scaled rail should price proportionally")
+	}
+}
+
+func TestRailWeights(t *testing.T) {
+	got := RailWeights([]float64{1, 0.5}, nil)
+	if got[0] != 1 || got[1] != 0.5 {
+		t.Fatalf("nil scales: %v", got)
+	}
+	got = RailWeights([]float64{1, 0.5}, []float64{2, 1})
+	if got[0] != 2 || got[1] != 0.5 {
+		t.Fatalf("combined weights: %v", got)
+	}
+	pieces := RailChunkWeighted(3000, RailWeights([]float64{1, 1}, []float64{2, 1}))
+	if pieces[0] != 2000 || pieces[1] != 1000 {
+		t.Fatalf("weighted stripe: %v", pieces)
+	}
+}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,93 @@ func TestValidateRejectsBadShapes(t *testing.T) {
 	for i, c := range bad {
 		if c.Validate() == nil {
 			t.Errorf("case %d: %+v should not validate", i, c)
+		}
+	}
+}
+
+// Regression: a zero-HCA node entry used to be representable and
+// silently produced empty transfer plans; it must now be rejected with
+// a typed error naming the field.
+func TestValidateRejectsZeroHCANode(t *testing.T) {
+	c := Cluster{Nodes: 3, PPN: 2, HCAs: 2, NodeHCAs: []int{2, 0, 1}}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("zero-HCA node should not validate")
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.Field != "NodeHCAs" {
+		t.Fatalf("want *topology.Error on NodeHCAs, got %v", err)
+	}
+}
+
+// Regression: a custom placement listing a rank twice must be rejected
+// with a typed error instead of building a world where the duplicate
+// shadows a missing rank.
+func TestValidateRejectsDuplicateRanks(t *testing.T) {
+	c := Cluster{Nodes: 2, PPN: 2, HCAs: 1, Layout: Custom,
+		Ranks: [][]int{{0, 1}, {1, 3}}}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("duplicate rank placement should not validate")
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.Field != "Ranks" {
+		t.Fatalf("want *topology.Error on Ranks, got %v", err)
+	}
+}
+
+func TestHeterogeneousShapes(t *testing.T) {
+	bad := []Cluster{
+		{Nodes: 2, PPN: 1, HCAs: 2, NodeHCAs: []int{2}},                       // wrong length
+		{Nodes: 2, PPN: 1, HCAs: 2, NodeHCAs: []int{2, 3}},                    // above max
+		{Nodes: 2, PPN: 1, HCAs: 2, RailBW: []float64{1}},                     // wrong length
+		{Nodes: 2, PPN: 1, HCAs: 2, RailBW: []float64{1, 0}},                  // zero scale
+		{Nodes: 2, PPN: 1, HCAs: 1, Ranks: [][]int{{0}, {1}}},                 // ranks without custom
+		{Nodes: 2, PPN: 1, HCAs: 1, Layout: Custom},                           // custom without ranks
+		{Nodes: 2, PPN: 1, HCAs: 1, Layout: Custom, Ranks: [][]int{{0}, {2}}}, // out of range
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: %+v should not validate", i, c)
+		}
+	}
+	c := Cluster{Nodes: 3, PPN: 2, HCAs: 2,
+		NodeHCAs: []int{2, 1, 2}, RailBW: []float64{1, 0.5}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.HCAsOf(0) != 2 || c.HCAsOf(1) != 1 {
+		t.Fatal("HCAsOf wrong")
+	}
+	if c.RailScale(0) != 1 || c.RailScale(1) != 0.5 {
+		t.Fatal("RailScale wrong")
+	}
+	if !c.Heterogeneous() {
+		t.Fatal("mixed shape should report heterogeneous")
+	}
+	if New(2, 2, 2).Heterogeneous() {
+		t.Fatal("uniform shape should not report heterogeneous")
+	}
+	if New(2, 2, 2).HCAsOf(1) != 2 || New(2, 2, 2).RailScale(1) != 1 {
+		t.Fatal("uniform defaults wrong")
+	}
+}
+
+func TestCustomLayoutMapping(t *testing.T) {
+	c := Cluster{Nodes: 2, PPN: 2, HCAs: 1, Layout: Custom,
+		Ranks: [][]int{{3, 0}, {2, 1}}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeOf(3) != 0 || c.LocalOf(3) != 0 || c.NodeOf(1) != 1 || c.LocalOf(1) != 1 {
+		t.Fatal("custom NodeOf/LocalOf wrong")
+	}
+	if c.RankOf(1, 0) != 2 || c.LeaderOf(0) != 3 {
+		t.Fatal("custom RankOf/LeaderOf wrong")
+	}
+	for r := 0; r < c.Size(); r++ {
+		if c.RankOf(c.NodeOf(r), c.LocalOf(r)) != r {
+			t.Fatalf("custom round-trip broken at rank %d", r)
 		}
 	}
 }

@@ -73,7 +73,7 @@ func DecodeDecision(data []byte, prm *netmodel.Params) (*Decision, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tuner: decision schedule: %v", err)
 	}
-	if s.Topo != cq.Cluster() || s.Msg != cq.Msg {
+	if !s.Topo.Equal(cq.Cluster()) || s.Msg != cq.Msg {
 		return nil, fmt.Errorf("tuner: decision schedule is for %v msg=%d, query wants %v msg=%d",
 			s.Topo, s.Msg, cq.Cluster(), cq.Msg)
 	}

@@ -15,6 +15,10 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add([]byte(`{"nodes":-1,"ppn":1e9,"hcas":999,"msg":0}`))
 	f.Add([]byte(`{"nodes":2,"ppn":2,"hcas":2,"msg":64,"health":[null,"x"]}`))
 	f.Add([]byte(`{"nodes":1000000000,"ppn":1000000000,"hcas":16,"msg":67108864}`))
+	f.Add([]byte(`{"nodes":4,"ppn":2,"hcas":2,"msg":4096,"fabric":"ft:arity=2,levels=2,over=2:1"}`))
+	f.Add([]byte(`{"nodes":4,"ppn":2,"hcas":2,"msg":4096,"fabric":"dfly:groups=2,routers=2,nodes=1"}`))
+	f.Add([]byte(`{"nodes":4,"ppn":2,"hcas":2,"msg":4096,"fabric":"flat"}`))
+	f.Add([]byte(`{"nodes":4,"ppn":2,"hcas":2,"msg":4096,"fabric":"ft:arity=0"}`))
 	f.Add([]byte(`nonsense`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{}`))

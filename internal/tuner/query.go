@@ -8,6 +8,7 @@ import (
 	"math"
 	"strings"
 
+	"mha/internal/fabric"
 	"mha/internal/sched"
 	"mha/internal/topology"
 )
@@ -33,13 +34,19 @@ const (
 const healthQuantum = 64
 
 // Query asks the autotuner for the best allgather schedule on one
-// machine state: the cluster shape, the per-rank message size, and the
-// steady rail-health vector (omitted = all rails healthy).
+// machine state: the cluster shape, the inter-node fabric, the per-rank
+// message size, and the steady rail-health vector (omitted = all rails
+// healthy).
 type Query struct {
-	Nodes  int       `json:"nodes"`
-	PPN    int       `json:"ppn"`
-	HCAs   int       `json:"hcas"`
-	Layout string    `json:"layout,omitempty"` // "block" (default) or "cyclic"
+	Nodes  int    `json:"nodes"`
+	PPN    int    `json:"ppn"`
+	HCAs   int    `json:"hcas"`
+	Layout string `json:"layout,omitempty"` // "block" (default) or "cyclic"
+	// Fabric is an internal/fabric spec ("" and "flat" mean the
+	// non-blocking fabric). It is canonicalized into the cache key, so
+	// equivalent spellings ("over=2" vs "over=2:1") share one entry and
+	// a tapered fabric never serves a flat-fabric decision.
+	Fabric string    `json:"fabric,omitempty"`
 	Msg    int       `json:"msg"`
 	Health []float64 `json:"health,omitempty"` // per rail, 0 down .. 1 healthy
 }
@@ -81,6 +88,15 @@ func (q Query) validate() error {
 	if q.Layout != "" && q.Layout != "block" && q.Layout != "cyclic" {
 		return fmt.Errorf("tuner: unknown layout %q", q.Layout)
 	}
+	if q.Fabric != "" {
+		fs, err := fabric.ParseSpec(q.Fabric)
+		if err != nil {
+			return fmt.Errorf("tuner: %v", err)
+		}
+		if err := fs.CheckNodes(q.Nodes); err != nil {
+			return fmt.Errorf("tuner: %v", err)
+		}
+	}
 	if q.Health != nil {
 		if len(q.Health) != q.HCAs {
 			return fmt.Errorf("tuner: health vector has %d entries for %d rails", len(q.Health), q.HCAs)
@@ -104,7 +120,8 @@ func (q Query) validate() error {
 }
 
 // Canonical normalizes the query into the form the cache is keyed on —
-// explicit layout, health quantized to 1/64ths and dropped entirely when
+// explicit layout, the fabric spec in its canonical text (flat dropped
+// entirely), health quantized to 1/64ths and dropped entirely when
 // fully healthy — and derives the key: the hex SHA-256 of a versioned
 // rendering of every normalized field. Two queries with the same
 // canonical form are, to the synthesizer, the same machine state.
@@ -115,6 +132,17 @@ func (q Query) Canonical() (Query, string, error) {
 	cq := q
 	if cq.Layout == "" {
 		cq.Layout = "block"
+	}
+	if cq.Fabric != "" {
+		fs, err := fabric.ParseSpec(cq.Fabric)
+		if err != nil {
+			return Query{}, "", fmt.Errorf("tuner: %v", err)
+		}
+		if fs.Kind == fabric.Flat {
+			cq.Fabric = ""
+		} else {
+			cq.Fabric = fs.String()
+		}
 	}
 	if cq.Health != nil {
 		quant := make([]float64, len(cq.Health))
@@ -143,6 +171,12 @@ func (q Query) Canonical() (Query, string, error) {
 		}
 		fmt.Fprintf(&b, "%d", int(math.Round(h*healthQuantum)))
 	}
+	// The fabric segment is appended only when a structured fabric is
+	// set, so every flat-fabric key — including those persisted before
+	// the field existed — keeps its exact bytes.
+	if cq.Fabric != "" {
+		fmt.Fprintf(&b, "|fabric=%s", cq.Fabric)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return cq, hex.EncodeToString(sum[:]), nil
 }
@@ -159,7 +193,8 @@ func (q Query) Cluster() topology.Cluster {
 // equal compares two queries field-by-field (health as values).
 func (q Query) equal(o Query) bool {
 	if q.Nodes != o.Nodes || q.PPN != o.PPN || q.HCAs != o.HCAs ||
-		q.Layout != o.Layout || q.Msg != o.Msg || len(q.Health) != len(o.Health) {
+		q.Layout != o.Layout || q.Fabric != o.Fabric ||
+		q.Msg != o.Msg || len(q.Health) != len(o.Health) {
 		return false
 	}
 	for r, h := range q.Health {
@@ -172,6 +207,9 @@ func (q Query) equal(o Query) bool {
 
 func (q Query) String() string {
 	s := fmt.Sprintf("%dx%dx%d/%s msg=%d", q.Nodes, q.PPN, q.HCAs, q.Layout, q.Msg)
+	if q.Fabric != "" {
+		s += " fabric=" + q.Fabric
+	}
 	if q.Health != nil {
 		s += fmt.Sprintf(" health=%v", q.Health)
 	}

@@ -24,6 +24,8 @@ func TestParseQueryRejects(t *testing.T) {
 		{"zero msg", `{"nodes":2,"ppn":2,"hcas":2,"msg":0}`, "msg"},
 		{"huge msg", `{"nodes":2,"ppn":2,"hcas":2,"msg":999999999999}`, "msg"},
 		{"bad layout", `{"nodes":2,"ppn":2,"hcas":2,"msg":64,"layout":"spiral"}`, "layout"},
+		{"bad fabric", `{"nodes":2,"ppn":2,"hcas":2,"msg":64,"fabric":"torus:dims=3"}`, "fabric"},
+		{"fabric misfit", `{"nodes":6,"ppn":2,"hcas":2,"msg":64,"fabric":"dfly:groups=2,routers=2,nodes=1"}`, "fabric"},
 		{"health length", `{"nodes":2,"ppn":2,"hcas":2,"msg":64,"health":[1]}`, "health"},
 		{"health range", `{"nodes":2,"ppn":2,"hcas":2,"msg":64,"health":[1,2]}`, "health"},
 		{"health negative", `{"nodes":2,"ppn":2,"hcas":2,"msg":64,"health":[-0.5,1]}`, "health"},
@@ -90,12 +92,30 @@ func TestCanonicalKey(t *testing.T) {
 		t.Error("0.5 vs 0.25 health collapsed into one key")
 	}
 
+	// A flat fabric collapses to the no-fabric form, and equivalent
+	// spellings of one taper share a key.
+	flat := base
+	flat.Fabric = "flat"
+	if key(base) != key(flat) {
+		t.Error("explicit flat fabric keyed differently from no fabric")
+	}
+	ft, ftRatio := base, base
+	ft.Fabric = "ft:arity=2,levels=2,over=2"
+	ftRatio.Fabric = "ft:arity=2,levels=2,over=2:1"
+	if key(ft) != key(ftRatio) {
+		t.Error("over=2 vs over=2:1 shattered the fabric key")
+	}
+	if key(ft) == key(base) {
+		t.Error("a 2:1 fat-tree keyed the same as the flat fabric")
+	}
+
 	// Every dimension distinguishes keys.
 	for name, vary := range map[string]Query{
 		"nodes":  {Nodes: 8, PPN: 8, HCAs: 2, Msg: 65536},
 		"ppn":    {Nodes: 4, PPN: 4, HCAs: 2, Msg: 65536},
 		"hcas":   {Nodes: 4, PPN: 8, HCAs: 1, Msg: 65536},
 		"layout": {Nodes: 4, PPN: 8, HCAs: 2, Layout: "cyclic", Msg: 65536},
+		"fabric": {Nodes: 4, PPN: 8, HCAs: 2, Fabric: "ft:arity=4,levels=2,over=2", Msg: 65536},
 		"msg":    {Nodes: 4, PPN: 8, HCAs: 2, Msg: 32768},
 	} {
 		if key(base) == key(vary) {

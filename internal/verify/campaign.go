@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/sim"
 	"mha/internal/topology"
@@ -154,6 +155,38 @@ func Generate(rng *rand.Rand, algs []Algorithm, maxRanks int) Scenario {
 	sc.Seed = 1 + rng.Int63n(1<<30)
 	if rng.Float64() < 0.25 {
 		sc.Jitter = 0.05
+	}
+	// Occasionally leave the flat fabric: an oversubscribed fat-tree, or a
+	// dragonfly that tiles the node count exactly. The shared-link charging
+	// only shifts virtual time, so the byte oracle and the determinism
+	// cross-check apply unchanged.
+	if r := rng.Float64(); r < 0.10 {
+		arity := []int{2, 2, 4}[rng.Intn(3)]
+		over := []string{"2", "4", "3:2"}[rng.Intn(3)]
+		sc.Fabric = fmt.Sprintf("ft:arity=%d,levels=2,over=%s", arity, over)
+		if s, err := fabric.ParseSpec(sc.Fabric); err == nil {
+			sc.Fabric = s.String()
+		}
+	} else if r < 0.15 && sc.Nodes%2 == 0 && sc.Nodes >= 4 {
+		sc.Fabric = fmt.Sprintf("dfly:groups=%d,routers=2,nodes=1", sc.Nodes/2)
+		if s, err := fabric.ParseSpec(sc.Fabric); err == nil {
+			sc.Fabric = s.String()
+		}
+	}
+	// Heterogeneous nodes: mixed per-node rail counts and asymmetric rail
+	// bandwidths, biased rare so the bulk of the campaign stays on the
+	// paper's homogeneous clusters.
+	if sc.HCAs > 1 && rng.Float64() < 0.12 {
+		sc.NodeHCAs = make([]int, sc.Nodes)
+		for i := range sc.NodeHCAs {
+			sc.NodeHCAs[i] = 1 + rng.Intn(sc.HCAs)
+		}
+	}
+	if sc.HCAs > 1 && rng.Float64() < 0.12 {
+		sc.RailBW = make([]float64, sc.HCAs)
+		for i := range sc.RailBW {
+			sc.RailBW[i] = []float64{1, 0.5, 0.75, 2}[rng.Intn(4)]
+		}
 	}
 	if rng.Float64() < 0.4 {
 		sc.Faults = faults.Random(1+rng.Int63n(1<<30), sc.Nodes, sc.HCAs, sim.Time(2*sim.Millisecond))

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLocalityVariantsRegistered: the locality family joined the campaign
+// pool through the collectives registration table, unconstrained (they
+// derive node groups from the communicator, so any layout is fine).
+func TestLocalityVariantsRegistered(t *testing.T) {
+	for _, name := range localityVariants {
+		a, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if a.BlockOnly || a.SingleNode || a.EvenPPN {
+			t.Fatalf("%s should carry no topology constraints: %+v", name, a)
+		}
+	}
+}
+
+// TestFabricFamilies drives both fabric families through Check: every
+// locality variant, byte-exact, on oversubscribed fat-tree and dragonfly
+// fabrics, homogeneous and heterogeneous, healthy and under a rail fault.
+func TestFabricFamilies(t *testing.T) {
+	fams := FabricFamilies()
+	for _, fam := range []string{"fabric-ft-2:1", "fabric-dfly"} {
+		specs := fams[fam]
+		if len(specs) != 4*3 {
+			t.Fatalf("%s: %d scenarios, want every locality variant x 3 envs", fam, len(specs))
+		}
+		for _, spec := range specs {
+			sc, err := ParseSpec(spec)
+			if err != nil {
+				t.Fatalf("%s: parse %q: %v", fam, spec, err)
+			}
+			if vs := Check(sc); len(vs) > 0 {
+				t.Errorf("%s: %s failed:", fam, spec)
+				for _, v := range vs {
+					t.Errorf("  %s", v)
+				}
+			}
+		}
+	}
+}
+
+// TestFabricSpecRoundTrip: the new scenario fields survive the
+// Spec/ParseSpec round trip, so shrunk fabric failures stay replayable.
+func TestFabricSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"alg=locality-ring nodes=4 ppn=2 hcas=2 msg=64 fabric=ft:arity=2,levels=2,over=2",
+		"alg=hier-bruck-ml nodes=4 ppn=2 hcas=2 layout=cyclic msg=257 " +
+			"fabric=dfly:groups=2,routers=2,nodes=1,local=1,global=2 nodehcas=2/1/2/1 railbw=1/0.5",
+		"alg=locality-bruck nodes=2 ppn=2 hcas=2 msg=8 nodehcas=1/2",
+	}
+	for _, spec := range specs {
+		sc, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		again, err := ParseSpec(sc.Spec())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", sc.Spec(), err)
+		}
+		if again.Spec() != sc.Spec() {
+			t.Fatalf("spec not a fixed point:\n  %s\n  %s", sc.Spec(), again.Spec())
+		}
+		for _, want := range []string{"fabric=", "nodehcas="} {
+			if !strings.Contains(sc.Spec(), want) && strings.Contains(spec, want) {
+				t.Fatalf("spec %q lost %q", sc.Spec(), want)
+			}
+		}
+	}
+	// A flat fabric normalizes away instead of cluttering every spec line.
+	sc, err := ParseSpec("alg=ring nodes=2 ppn=2 hcas=2 msg=8 fabric=flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sc.Spec(), "fabric=") {
+		t.Fatalf("flat fabric should not render: %s", sc.Spec())
+	}
+	// Fabric specs that cannot host the cluster are spec errors.
+	if _, err := ParseSpec("alg=ring nodes=6 ppn=1 hcas=1 msg=8 fabric=dfly:groups=2,routers=2,nodes=2"); err == nil {
+		t.Fatal("dragonfly that cannot tile 6 nodes should be rejected")
+	}
+}

@@ -103,10 +103,15 @@ func RunOnce(sc Scenario, install func(*mpi.World)) (res RunResult) {
 	if !ok {
 		return RunResult{Violations: []Violation{{Kind: "spec", Detail: "unknown algorithm " + sc.Alg}}}
 	}
+	fspec, ferr := sc.FabricSpec()
+	if ferr != nil {
+		return RunResult{Violations: []Violation{{Kind: "spec", Detail: ferr.Error()}}}
+	}
 	rec := trace.New()
 	w := mpi.New(mpi.Config{
 		Topo: sc.Topo(), Params: sc.Params(), Tracer: rec,
 		Seed: sc.Seed, Faults: sc.Faults, FaultBlind: sc.Blind,
+		Fabric: fspec,
 	})
 
 	// Clock monotonicity: the engine must only ever advance, and each

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/netmodel"
 	"mha/internal/topology"
@@ -29,6 +30,16 @@ type Scenario struct {
 	Jitter float64
 	// Blind runs the health-unaware transport baseline.
 	Blind bool
+	// Fabric is an internal/fabric spec ("" or "flat" means the default
+	// flat fabric), putting the run's inter-node traffic on shared
+	// fat-tree or dragonfly links.
+	Fabric string
+	// NodeHCAs, when non-empty, gives each node its own usable rail
+	// count (mixed 1/2-HCA clusters); len must equal Nodes.
+	NodeHCAs []int
+	// RailBW, when non-empty, scales each rail's bandwidth (asymmetric
+	// rails); len must equal HCAs.
+	RailBW []float64
 	// Faults degrades the rails over the run; nil means healthy.
 	Faults *faults.Schedule
 }
@@ -36,7 +47,23 @@ type Scenario struct {
 // Topo returns the scenario's cluster.
 func (sc Scenario) Topo() topology.Cluster {
 	return topology.Cluster{Nodes: sc.Nodes, PPN: sc.PPN, HCAs: sc.HCAs,
-		Layout: sc.Layout, Sockets: sc.Sockets}
+		Layout: sc.Layout, Sockets: sc.Sockets,
+		NodeHCAs: sc.NodeHCAs, RailBW: sc.RailBW}
+}
+
+// FabricSpec parses the scenario's fabric field (nil when flat).
+func (sc Scenario) FabricSpec() (*fabric.Spec, error) {
+	if sc.Fabric == "" {
+		return nil, nil
+	}
+	s, err := fabric.ParseSpec(sc.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind == fabric.Flat {
+		return nil, nil
+	}
+	return &s, nil
 }
 
 // Params returns the scenario's cost model: the Thor calibration (NUMA
@@ -72,6 +99,13 @@ func (sc Scenario) Validate() error {
 	if sc.Jitter < 0 {
 		return fmt.Errorf("verify: negative jitter %g", sc.Jitter)
 	}
+	if fs, err := sc.FabricSpec(); err != nil {
+		return err
+	} else if fs != nil {
+		if err := fs.CheckNodes(sc.Nodes); err != nil {
+			return err
+		}
+	}
 	if sc.Faults.Len() > 0 {
 		if err := sc.Faults.Check(sc.Nodes, sc.HCAs); err != nil {
 			return err
@@ -85,9 +119,21 @@ func (sc Scenario) Validate() error {
 // joining lines, so the whole scenario stays a single shell-friendly line.
 func (sc Scenario) Spec() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "alg=%s nodes=%d ppn=%d hcas=%d sockets=%d layout=%s msg=%d seed=%d jitter=%g blind=%d faults=",
+	fmt.Fprintf(&b, "alg=%s nodes=%d ppn=%d hcas=%d sockets=%d layout=%s msg=%d seed=%d jitter=%g blind=%d",
 		sc.Alg, sc.Nodes, sc.PPN, sc.HCAs, sc.Sockets,
 		strings.ToLower(sc.Layout.String()), sc.Msg, sc.Seed, sc.Jitter, b2i(sc.Blind))
+	if sc.Fabric != "" && sc.Fabric != "flat" {
+		fmt.Fprintf(&b, " fabric=%s", sc.Fabric)
+	}
+	if len(sc.NodeHCAs) > 0 {
+		b.WriteString(" nodehcas=")
+		b.WriteString(joinInts(sc.NodeHCAs))
+	}
+	if len(sc.RailBW) > 0 {
+		b.WriteString(" railbw=")
+		b.WriteString(joinFloats(sc.RailBW))
+	}
+	b.WriteString(" faults=")
 	if sc.Faults.Len() > 0 {
 		b.WriteString(strings.ReplaceAll(sc.Faults.String(), "\n", "; "))
 	} else {
@@ -101,6 +147,50 @@ func b2i(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// joinInts renders a "/"-separated int list (the nodehcas= value).
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, "/")
+}
+
+// joinFloats renders a "/"-separated float list (the railbw= value).
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, "/")
+}
+
+func splitInts(v string) ([]int, error) {
+	parts := strings.Split(v, "/")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		x, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+func splitFloats(v string) ([]float64, error) {
+	parts := strings.Split(v, "/")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
 }
 
 // ParseSpec reads a line produced by Spec (the inverse, modulo
@@ -149,6 +239,18 @@ func ParseSpec(line string) (Scenario, error) {
 			sc.Jitter, err = strconv.ParseFloat(v, 64)
 		case "blind":
 			sc.Blind = v == "1" || v == "true"
+		case "fabric":
+			var fs fabric.Spec
+			if fs, err = fabric.ParseSpec(v); err == nil {
+				sc.Fabric = fs.String()
+				if fs.Kind == fabric.Flat {
+					sc.Fabric = ""
+				}
+			}
+		case "nodehcas":
+			sc.NodeHCAs, err = splitInts(v)
+		case "railbw":
+			sc.RailBW, err = splitFloats(v)
 		default:
 			err = fmt.Errorf("unknown key")
 		}

@@ -68,13 +68,27 @@ func candidates(sc Scenario) []Scenario {
 	if sc.Jitter > 0 {
 		with(func(c *Scenario) { c.Jitter = 0 })
 	}
+	if sc.Fabric != "" {
+		with(func(c *Scenario) { c.Fabric = "" })
+	}
+	if len(sc.NodeHCAs) > 0 {
+		with(func(c *Scenario) { c.NodeHCAs = nil })
+	}
+	if len(sc.RailBW) > 0 {
+		with(func(c *Scenario) { c.RailBW = nil })
+	}
 	if sc.Sockets > 1 {
 		with(func(c *Scenario) { c.Sockets = 0 })
 	}
 	for _, n := range []int{1, sc.Nodes / 2, sc.Nodes - 1} {
 		if n >= 1 && n < sc.Nodes {
 			n := n
-			with(func(c *Scenario) { c.Nodes = n })
+			with(func(c *Scenario) {
+				c.Nodes = n
+				if len(c.NodeHCAs) > n {
+					c.NodeHCAs = append([]int(nil), c.NodeHCAs[:n]...)
+				}
+			})
 		}
 	}
 	for _, l := range []int{1, sc.PPN / 2, sc.PPN - 1} {
@@ -86,7 +100,21 @@ func candidates(sc Scenario) []Scenario {
 	for _, h := range []int{1, sc.HCAs / 2} {
 		if h >= 1 && h < sc.HCAs {
 			h := h
-			with(func(c *Scenario) { c.HCAs = h })
+			with(func(c *Scenario) {
+				c.HCAs = h
+				if len(c.RailBW) > h {
+					c.RailBW = append([]float64(nil), c.RailBW[:h]...)
+				}
+				if len(c.NodeHCAs) > 0 {
+					clamped := append([]int(nil), c.NodeHCAs...)
+					for i, v := range clamped {
+						if v > h {
+							clamped[i] = h
+						}
+					}
+					c.NodeHCAs = clamped
+				}
+			})
 		}
 	}
 	if sc.Layout != topology.Block {

@@ -31,6 +31,7 @@ import (
 	"mha/internal/compose"
 	"mha/internal/core"
 	"mha/internal/explore"
+	"mha/internal/fabric"
 	"mha/internal/faults"
 	"mha/internal/machines"
 	"mha/internal/mpi"
@@ -570,4 +571,27 @@ func RunCluster(cfg ClusterConfig, jobs []ClusterJob) (*ClusterResult, error) {
 // with arrivals spread over the horizon.
 func ClusterRandomJobs(seed int64, n int, topo Cluster, horizon Duration) []ClusterJob {
 	return cluster.RandomJobs(seed, n, topo, horizon)
+}
+
+// Structured fabrics (internal/fabric, cmd/mhafabric): fat-tree and
+// dragonfly inter-node network models with deterministic routing over
+// shared per-link resources (DESIGN.md §14).
+type (
+	// FabricSpec describes a structured inter-node network. Set one in
+	// Config.Fabric (as a pointer) to route cross-node traffic over its
+	// shared links; nil keeps the flat non-blocking fabric.
+	FabricSpec = fabric.Spec
+	// FabricNetwork is a built fabric instance: links, capacities, and
+	// the precomputed pairwise route table.
+	FabricNetwork = fabric.Network
+)
+
+// ParseFabricSpec reads the compact fabric grammar: "flat",
+// "ft:arity=2,levels=2,over=2:1", "dfly:groups=2,routers=2,nodes=2".
+func ParseFabricSpec(text string) (FabricSpec, error) { return fabric.ParseSpec(text) }
+
+// BuildFabric instantiates a fabric spec over a cluster for inspection
+// (describe/route); worlds build their own from Config.Fabric.
+func BuildFabric(spec FabricSpec, topo Cluster, prm *Params) (*FabricNetwork, error) {
+	return fabric.Build(nil, spec, topo, prm)
 }
