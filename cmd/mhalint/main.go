@@ -1,14 +1,17 @@
 // Command mhalint runs the project's static-analysis suite: stdlib-only
 // passes that enforce the simulator's determinism and resource-discipline
-// contracts at build time (see internal/lint and DESIGN.md §10).
+// contracts at build time (see internal/lint and DESIGN.md §10, §15).
 //
 // Usage:
 //
-//	mhalint [-list] [-pass name[,name...]] [packages]
+//	mhalint [-list] [-pass name[,name...]] [-json] [-baseline file]
+//	        [-write-baseline file] [packages]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings, 2 usage
 // or load error. Findings can be suppressed per line with
-// `//lint:ignore <pass> <reason>`.
+// `//lint:ignore <pass> <reason>`; accepted findings can be parked in a
+// baseline file instead, which CI diffs so only new findings fail the
+// build. -json emits a byte-deterministic machine-readable report.
 package main
 
 import (
@@ -23,11 +26,14 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the registered passes and exit")
 	passFlag := flag.String("pass", "", "comma-separated subset of passes to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as deterministic JSON on stdout")
+	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings; only new findings fail")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
 	flag.Parse()
 
 	if *list {
 		for _, p := range lint.Passes() {
-			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
 		}
 		return
 	}
@@ -60,12 +66,48 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Check(units, passes)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.FormatBaseline(diags), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mhalint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mhalint: wrote %d accepted finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	accepted := 0
+	if *baselineFlag != "" {
+		data, err := os.ReadFile(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mhalint: %v\n", err)
+			os.Exit(2)
+		}
+		var kept []lint.Diagnostic
+		kept, acc := lint.ApplyBaseline(diags, lint.ParseBaseline(data))
+		diags, accepted = kept, len(acc)
+	}
+
+	names := make([]string, 0, len(passes))
+	for _, p := range passes {
+		names = append(names, p.Name)
+	}
+	if *jsonFlag {
+		os.Stdout.Write(lint.RenderJSON(names, diags))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mhalint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
-	fmt.Printf("mhalint: %d packages, %d passes, no findings\n", len(units), len(passes))
+	if !*jsonFlag {
+		fmt.Printf("mhalint: %d packages, %d passes, no findings", len(units), len(passes))
+		if accepted > 0 {
+			fmt.Printf(" (%d baselined)", accepted)
+		}
+		fmt.Println()
+	}
 }

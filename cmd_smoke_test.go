@@ -307,21 +307,23 @@ func TestSmokeMhacluster(t *testing.T) {
 
 func TestSmokeMhalint(t *testing.T) {
 	out := run(t, "mhalint", "-list")
-	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim"} {
+	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim",
+		"sharedstate", "purity", "locklint", "suppaudit"} {
 		if !strings.Contains(out, pass) {
 			t.Fatalf("-list missing pass %s:\n%s", pass, out)
 		}
 	}
 	out = run(t, "mhalint", "./...")
-	if !strings.Contains(out, "no findings") {
-		t.Fatalf("tree should lint clean:\n%s", out)
+	if !strings.Contains(out, "9 passes") || !strings.Contains(out, "no findings") {
+		t.Fatalf("tree should lint clean under all nine passes:\n%s", out)
 	}
 }
 
 func TestSmokeMhalintFlagsFixtures(t *testing.T) {
 	// Every pass must exit non-zero on its own firing fixture, naming
 	// itself in the diagnostics.
-	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim"} {
+	for _, pass := range []string{"detnow", "maporder", "waitpair", "railpin", "gonosim",
+		"sharedstate", "purity", "locklint", "suppaudit"} {
 		cmd := exec.Command(filepath.Join(binaries(t), "mhalint"),
 			"./internal/lint/testdata/src/"+pass)
 		out, err := cmd.CombinedOutput()
@@ -331,6 +333,71 @@ func TestSmokeMhalintFlagsFixtures(t *testing.T) {
 		if !strings.Contains(string(out), pass+":") {
 			t.Fatalf("%s fixture diagnostics unexpected:\n%s", pass, out)
 		}
+	}
+}
+
+func TestSmokeMhalintPassSelection(t *testing.T) {
+	// -pass restricts the run: the waitpair fixture fires under its own
+	// pass but is silent under detnow alone.
+	fixture := "./internal/lint/testdata/src/waitpair"
+	cmd := exec.Command(filepath.Join(binaries(t), "mhalint"), "-pass", "waitpair", fixture)
+	out, err := cmd.CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "waitpair:") {
+		t.Fatalf("-pass waitpair did not fire on its fixture (err=%v):\n%s", err, out)
+	}
+	out2 := run(t, "mhalint", "-pass", "detnow", fixture)
+	if !strings.Contains(out2, "no findings") {
+		t.Fatalf("-pass detnow should be silent on the waitpair fixture:\n%s", out2)
+	}
+	cmd = exec.Command(filepath.Join(binaries(t), "mhalint"), "-pass", "nosuchpass", fixture)
+	if _, err := cmd.CombinedOutput(); err == nil {
+		t.Fatal("-pass nosuchpass must be a usage error")
+	}
+}
+
+func TestSmokeMhalintJSONAndBaseline(t *testing.T) {
+	fixture := "./internal/lint/testdata/src/detnow"
+	bin := filepath.Join(binaries(t), "mhalint")
+
+	// -json: findings as machine-readable output, still exit 1; two runs
+	// must agree byte for byte.
+	cmd := exec.Command(bin, "-json", fixture)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("fixture lints clean under -json:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"pass": "detnow"`) || !strings.Contains(string(out), `"findings"`) {
+		t.Fatalf("-json output shape unexpected:\n%s", out)
+	}
+	cmd = exec.Command(bin, "-json", fixture)
+	out2, _ := cmd.CombinedOutput()
+	if string(out) != string(out2) {
+		t.Fatalf("-json output not deterministic:\n%s\nvs\n%s", out, out2)
+	}
+
+	// -write-baseline accepts the findings; -baseline then comes back
+	// clean, and deleting a line resurfaces exactly that finding.
+	base := filepath.Join(t.TempDir(), "fixture.baseline")
+	run(t, "mhalint", "-write-baseline", base, fixture)
+	out3 := run(t, "mhalint", "-baseline", base, fixture)
+	if !strings.Contains(out3, "baselined") {
+		t.Fatalf("-baseline did not absorb the accepted findings:\n%s", out3)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if err := os.WriteFile(base, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin, "-baseline", base, fixture)
+	out4, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("shrunken baseline still absorbs everything:\n%s", out4)
+	}
+	if !strings.Contains(string(out4), "1 finding(s)") {
+		t.Fatalf("want exactly the un-baselined finding back:\n%s", out4)
 	}
 }
 

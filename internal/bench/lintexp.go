@@ -1,0 +1,59 @@
+package bench
+
+// Static-analysis probe: what a whole-program mhalint run costs. The
+// linter rides CI on every push, so its wall-clock cost is a serving
+// number like tuner latency — a regression here slows every merge.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mha/internal/lint"
+)
+
+// LintWholeProgramMicros is the wall-clock cost of one full mhalint
+// cycle — load + typecheck, whole-program index and call graph, all
+// nine passes — over a representative package, in microseconds. The
+// package must come back clean: a finding means the probe (or the
+// tree) regressed, and the number would no longer measure the same
+// work.
+func LintWholeProgramMicros() (float64, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Join(root, "internal", "topology")
+	const rounds = 3
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		units, err := lint.Load([]string{dir})
+		if err != nil {
+			return 0, err
+		}
+		if diags := lint.Check(units, lint.Passes()); len(diags) != 0 {
+			return 0, fmt.Errorf("lint probe package is not clean: %d finding(s)", len(diags))
+		}
+	}
+	return float64(time.Since(start)) / float64(time.Microsecond) / rounds, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod that
+// anchors the tree, so the probe works from any package's test dir.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -82,7 +82,8 @@ func TestTier1Metrics(t *testing.T) {
 		seen[m.ID] = true
 	}
 	for _, id := range []string{"fig3-pt2pt-2hca-64k", "fig12a-allgather-MHA-8k",
-		"fig15-allreduce-mha-1m", "explore-states-per-sec-4x2"} {
+		"fig15-allreduce-mha-1m", "explore-states-per-sec-4x2",
+		"lint-whole-program-us"} {
 		if !seen[id] {
 			t.Errorf("missing probe %s (have %v)", id, ms)
 		}
@@ -101,7 +102,7 @@ func TestTier1Metrics(t *testing.T) {
 	}
 }
 
-// maskWallClock zeroes the wall-clock (tuner-*, explore-* and
+// maskWallClock zeroes the wall-clock (tuner-*, explore-*, lint-*,
 // compose-lower-us) probe values in a rendered tier-1 file so
 // determinism checks compare only modeled time.
 func maskWallClock(t *testing.T, data []byte) string {
@@ -112,6 +113,7 @@ func maskWallClock(t *testing.T, data []byte) string {
 	}
 	for k := range m {
 		if strings.HasPrefix(k, "tuner-") || strings.HasPrefix(k, "explore-") ||
+			strings.HasPrefix(k, "lint-") ||
 			k == "compose-lower-us" || k == "fabric-route-us" {
 			m[k] = 0
 		}

@@ -126,6 +126,14 @@ func Tier1(sc Scale) []Tier1Metric {
 			Micros: rate,
 		})
 	}
+	// Static-analysis probe, wall clock: one full whole-program mhalint
+	// cycle over a representative package (CI pays this on every push).
+	if us, err := LintWholeProgramMicros(); err == nil && us > 0 {
+		out = append(out, Tier1Metric{
+			ID:     "lint-whole-program-us",
+			Micros: us,
+		})
+	}
 	return out
 }
 

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"strings"
+)
+
+// The //lint: directive family. Parsing lives here, apart from the
+// driver, so the fuzz target can hammer it directly:
+//
+//	//lint:ignore <pass>[,<pass>...] <reason>   silence one line
+//	//lint:pure [note]                          mark the next function a purity root
+//
+// A directive is recognized by its "lint:" prefix after the comment
+// marker; everything else in a comment is prose.
+
+const (
+	ignorePrefix = "lint:ignore"
+	purePrefix   = "lint:pure"
+)
+
+// directiveKind discriminates parsed //lint: directives.
+type directiveKind int
+
+const (
+	directiveNone   directiveKind = iota // not a lint directive at all
+	directiveIgnore                      // valid //lint:ignore
+	directivePure                        // valid //lint:pure
+	directiveBad                         // a lint directive that fails its contract
+)
+
+// directive is the parse of one comment's text.
+type directive struct {
+	kind    directiveKind
+	passes  []string // for ignore: the named passes, in written order
+	reason  string   // for ignore: the mandatory justification; for pure: the optional note
+	problem string   // for bad: what is wrong, in the diagnostic's words
+}
+
+// parseDirective parses one comment's raw text (as go/ast delivers it,
+// leading // or /* included). Comments that are not lint directives
+// return kind directiveNone. Malformed directives return directiveBad
+// with a problem message; they must suppress nothing.
+func parseDirective(text string) directive {
+	body, ok := commentBody(text)
+	if !ok {
+		return directive{kind: directiveNone}
+	}
+	switch {
+	case strings.HasPrefix(body, ignorePrefix):
+		return parseIgnore(strings.TrimPrefix(body, ignorePrefix))
+	case strings.HasPrefix(body, purePrefix):
+		rest := strings.TrimPrefix(body, purePrefix)
+		if rest != "" && !startsWithSpace(rest) {
+			return directive{kind: directiveNone} // e.g. lint:purely — not ours
+		}
+		return directive{kind: directivePure, reason: strings.TrimSpace(rest)}
+	case strings.HasPrefix(body, "lint:"):
+		word := strings.Fields(strings.TrimPrefix(body, "lint:"))
+		name := ""
+		if len(word) > 0 {
+			name = word[0]
+		}
+		return directive{kind: directiveBad,
+			problem: "unknown //lint: directive " + strconvQuote(name) + " (have lint:ignore, lint:pure)"}
+	default:
+		return directive{kind: directiveNone}
+	}
+}
+
+// parseIgnore parses the remainder of an ignore directive after the
+// prefix: a comma-separated pass list and a non-empty reason.
+func parseIgnore(rest string) directive {
+	if rest != "" && !startsWithSpace(rest) {
+		return directive{kind: directiveNone} // e.g. lint:ignoreme — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return directive{kind: directiveBad,
+			problem: "//lint:ignore needs a pass name and a non-empty reason: //lint:ignore <pass> <why this is safe>"}
+	}
+	var passes []string
+	for _, name := range strings.Split(fields[0], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return directive{kind: directiveBad,
+				problem: "//lint:ignore has an empty entry in its pass list " + strconvQuote(fields[0])}
+		}
+		passes = append(passes, name)
+	}
+	return directive{
+		kind:   directiveIgnore,
+		passes: passes,
+		reason: strings.Join(fields[1:], " "),
+	}
+}
+
+// commentBody strips the comment marker and leading CR/whitespace noise
+// down to the directive text. Directives must start immediately after //
+// (the gofmt convention for machine-readable comments); block comments
+// are never directives.
+func commentBody(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", false // /* ... */ comments are prose
+	}
+	body = strings.TrimSuffix(body, "\r")
+	if !strings.HasPrefix(body, "lint:") {
+		return "", false
+	}
+	return body, true
+}
+
+func startsWithSpace(s string) bool {
+	return len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\r' || s[0] == '\n')
+}
+
+// strconvQuote is a tiny local %q to keep the parser allocation-light
+// under fuzzing.
+func strconvQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseIgnore hammers the //lint: directive parser with arbitrary
+// comment text and checks its contract rather than specific outputs:
+// it never panics, is deterministic, and every parse lands in exactly
+// one well-formed state (an ignore has passes and a reason, a bad
+// directive has a problem, prose has neither).
+func FuzzParseIgnore(f *testing.F) {
+	seeds := []string{
+		"//lint:ignore detnow cache warmup is wall-clock by design",
+		"//lint:ignore detnow,maporder two passes one line",
+		"//lint:ignore detnow",             // missing reason
+		"//lint:ignore",                    // missing everything
+		"//lint:ignore  ",                  // trailing whitespace only
+		"//lint:ignore ,detnow why",        // empty pass-list entry
+		"//lint:ignore detnow,,gonosim w",  // empty middle entry
+		"//lint:ignoreme not a directive",  // prefix must be word-final
+		"//lint:pure",                      // bare pure marker
+		"//lint:pure keys must be stable",  // pure with a note
+		"//lint:purely adverbs are prose",  // not a pure directive
+		"//lint:frobnicate unknown verb",   // unknown directive
+		"//lint:",                          // bare namespace
+		"// lint:ignore detnow spaced out", // space before lint: is prose
+		"//lint:ignore detnow why\r",       // CRLF leftovers
+		"//lint:ignore\tdetnow\ttabbed reason",
+		"/*lint:ignore detnow block comments are prose*/",
+		"//",
+		"",
+		"//lint:ignore detnow \x00 control bytes",
+		"//lint:ignore " + strings.Repeat("p,", 100) + "p long list",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d1 := parseDirective(text)
+		d2 := parseDirective(text)
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("parseDirective is nondeterministic on %q: %+v vs %+v", text, d1, d2)
+		}
+		switch d1.kind {
+		case directiveIgnore:
+			if len(d1.passes) == 0 {
+				t.Errorf("valid ignore with no passes: %q", text)
+			}
+			for _, p := range d1.passes {
+				if p == "" || strings.ContainsAny(p, " \t\r\n") {
+					t.Errorf("pass name %q not a clean token from %q", p, text)
+				}
+			}
+			if d1.reason == "" {
+				t.Errorf("valid ignore with empty reason: %q", text)
+			}
+			if d1.problem != "" {
+				t.Errorf("valid ignore carries a problem: %q -> %q", text, d1.problem)
+			}
+		case directiveBad:
+			if d1.problem == "" {
+				t.Errorf("bad directive with no problem text: %q", text)
+			}
+		case directiveNone, directivePure:
+			if d1.problem != "" || len(d1.passes) != 0 {
+				t.Errorf("%v directive carries ignore fields: %q -> %+v", d1.kind, text, d1)
+			}
+		default:
+			t.Errorf("unknown directive kind %v from %q", d1.kind, text)
+		}
+		// A directive only ever comes from a line comment that starts
+		// with the namespace immediately after the marker.
+		if d1.kind != directiveNone && !strings.HasPrefix(text, "//lint:") {
+			t.Errorf("non-comment text parsed as a directive: %q -> %+v", text, d1)
+		}
+	})
+}

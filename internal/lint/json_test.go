@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRenderJSONGolden pins the -json wire format byte for byte: CI
+// diffs this output against a checked-in baseline, so any drift —
+// field order, indentation, escaping — must be a deliberate,
+// golden-updating change.
+func TestRenderJSONGolden(t *testing.T) {
+	units, err := Load([]string{filepath.Join("testdata", "src", "waitpair")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(units, []*Pass{waitpairPass})
+	got := RenderJSON([]string{"waitpair"}, diags)
+	if again := RenderJSON([]string{"waitpair"}, diags); !bytes.Equal(got, again) {
+		t.Fatal("RenderJSON is not byte-deterministic across calls")
+	}
+
+	path := filepath.Join("testdata", "golden", "json.golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing JSON golden (record with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON output drifted from golden:\n--- golden ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestBaselineRoundTrip: accepting the current findings into a baseline
+// must make the same run come back clean, and the baseline must be
+// line-drift-robust (fingerprints carry no line numbers).
+func TestBaselineRoundTrip(t *testing.T) {
+	units, err := Load([]string{filepath.Join("testdata", "src", "waitpair")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(units, []*Pass{waitpairPass})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings to baseline")
+	}
+
+	base := ParseBaseline(FormatBaseline(diags))
+	fresh, accepted := ApplyBaseline(diags, base)
+	if len(fresh) != 0 {
+		t.Errorf("%d findings survived their own baseline: %v", len(fresh), fresh)
+	}
+	if len(accepted) != len(diags) {
+		t.Errorf("accepted %d of %d findings", len(accepted), len(diags))
+	}
+
+	shifted := diags[0]
+	shifted.Pos.Line += 40
+	shifted.Pos.Column += 3
+	if f, _ := ApplyBaseline([]Diagnostic{shifted}, base); len(f) != 0 {
+		t.Error("baseline match must survive line/column drift")
+	}
+
+	reworded := diags[0]
+	reworded.Message += " (now different)"
+	if f, _ := ApplyBaseline([]Diagnostic{reworded}, base); len(f) != 1 {
+		t.Error("a changed message must count as a new finding")
+	}
+}

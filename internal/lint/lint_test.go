@@ -114,6 +114,17 @@ func TestScopes(t *testing.T) {
 		{waitpairPass, "mha/internal/lint", false},
 		{maporderPass, "mha/internal/machines", true},
 		{railpinPass, "mha", false},
+		{sharedstatePass, "mha/internal/cluster", true},
+		{sharedstatePass, "mha/internal/lint", false},
+		{purityPass, "mha/internal/tuner", true},
+		{locklintPass, "mha/internal/tuner", true},
+		{locklintPass, "mha/internal/cluster", true},
+		{locklintPass, "mha/internal/sim", false},
+		{suppauditPass, "mha/internal/lint", true},
+		// The suppaudit fixture is in every pass's scope so its live
+		// suppressions have findings to absorb.
+		{detnowPass, "mha/internal/lint/testdata/src/suppaudit", true},
+		{railpinPass, "mha/internal/lint/testdata/src/suppaudit", true},
 	}
 	for _, c := range cases {
 		if got := applies(c.pass, c.path); got != c.want {

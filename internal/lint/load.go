@@ -13,6 +13,17 @@ import (
 	"strings"
 )
 
+// A Unit is one parsed, type-checked package: the input to the unit
+// passes and the building block of a Program.
+type Unit struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
 // Load parses and type-checks every package named by the patterns and
 // returns one Unit per package. A pattern is either a directory or a
 // `dir/...` walk; walks skip testdata, hidden, and underscore

@@ -1,0 +1,34 @@
+package locklint
+
+// LeakOnEarlyReturn unlocks on the miss path but not on the hit.
+func (s *Service) LeakOnEarlyReturn(key string) int {
+	s.mu.Lock() // finding: held at the early return
+	if v, ok := s.cache[key]; ok {
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// NeverUnlocked acquires and forgets.
+func (s *Service) NeverUnlocked() {
+	s.mu.Lock() // finding: never released
+	s.cache["x"] = 1
+}
+
+// HeavyUnderLock synthesizes while holding the mutex — the shape the
+// tuner's singleflight design exists to prevent.
+func (s *Service) HeavyUnderLock(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Synthesize(key) // finding: heavy call under s.mu
+}
+
+// MismatchedRead takes the read lock but releases the write flavor:
+// the read lock is never released.
+func (s *Service) MismatchedRead(key string) int {
+	s.rw.RLock() // finding: read lock never released
+	v := s.cache[key]
+	s.rw.Unlock()
+	return v
+}

@@ -1,0 +1,42 @@
+package locklint
+
+// DeferredUnlock is the canonical acquire/defer shape.
+func (s *Service) DeferredUnlock(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache[key]
+}
+
+// EarlyReturnBalanced unlocks on both paths and runs the heavy call in
+// the gap — the tuner Decide shape (check cache, release, synthesize,
+// re-acquire to publish).
+func (s *Service) EarlyReturnBalanced(key string) int {
+	s.mu.Lock()
+	if v, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := Simulate(key)
+	s.mu.Lock()
+	s.cache[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// ReadPath pairs RLock with RUnlock.
+func (s *Service) ReadPath(key string) int {
+	s.rw.RLock()
+	v := s.cache[key]
+	s.rw.RUnlock()
+	return v
+}
+
+// ClosureDefer releases through a deferred closure.
+func (s *Service) ClosureDefer(key string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.cache[key]
+}

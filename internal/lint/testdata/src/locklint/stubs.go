@@ -1,0 +1,17 @@
+// Package locklint is the fixture for the locklint pass. Simulate and
+// Synthesize stand in for the heavy calls the pass forbids under a
+// lock; the mutexes are the real sync types, since the pass matches
+// their methods by package.
+package locklint
+
+import "sync"
+
+type Service struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cache map[string]int
+}
+
+func Simulate(key string) int { return len(key) }
+
+func Synthesize(key string) int { return len(key) }

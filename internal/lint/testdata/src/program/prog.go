@@ -1,0 +1,39 @@
+// Package program exercises the whole-program layer directly: the call
+// graph (recursion, method values), and the closure capture analysis
+// (loop variables, outer accumulators). It is not a pass fixture — the
+// program_test.go unit tests load it by name.
+package program
+
+// fact is directly recursive: the call graph keeps the self-edge, since
+// recursion is a real cycle for the fixpoint analyses.
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+type Greeter struct{ prefix string }
+
+func (g Greeter) Greet(s string) string { return g.prefix + s }
+
+// useMethodValue references Greet without calling it; the reference is
+// recorded as a conservative edge, since it is how a later dynamic call
+// is formed.
+func useMethodValue(g Greeter) func(string) string {
+	return g.Greet
+}
+
+// loopCaptures closes over the (per-iteration) loop variable and a
+// (shared) outer accumulator.
+func loopCaptures() []func() int {
+	sum := 0
+	var fns []func() int
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() int {
+			sum += i
+			return i
+		})
+	}
+	return fns
+}

@@ -1,0 +1,34 @@
+package purity
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampedKey folds the wall clock into a cache key: two identical
+// queries get different keys.
+//
+//lint:pure a key must depend on the query alone
+func StampedKey(q int) int64 { // finding: calls time.Now
+	return int64(q) + time.Now().UnixNano()
+}
+
+// jitter draws from the process-global source — impure one call away.
+func jitter() float64 { return rand.Float64() }
+
+// NoisyPrice is pure-looking locally; the impurity is in its callee.
+//
+//lint:pure prices must replay bit-identically
+func NoisyPrice(base float64) float64 { // finding: via jitter
+	return base * jitter()
+}
+
+// MapWalkEncode emits keys in randomized map order: the encoding
+// differs between runs of the same input.
+//
+//lint:pure encodings feed cache keys
+func MapWalkEncode(m map[string]int, sink *Tape) { // finding: ordered map walk
+	for k := range m {
+		sink.Emit(k)
+	}
+}

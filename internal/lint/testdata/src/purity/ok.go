@@ -1,0 +1,42 @@
+package purity
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// fold is a plain deterministic reduction.
+func fold(vs []int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// StableKey proves purity through an in-program callee.
+//
+//lint:pure cache keys depend only on inputs
+func StableKey(vs []int) int { return fold(vs) }
+
+// SortedEncode walks a map but sorts the collected keys before anyone
+// can observe the order — the canonical fix.
+//
+//lint:pure sorted walks are deterministic
+func SortedEncode(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeededDraw uses an explicitly seeded generator: the same seed always
+// yields the same value.
+//
+//lint:pure seeded draws replay bit-identically
+func SeededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,9 @@
+// Package purity is the fixture for the purity pass: functions marked
+// //lint:pure must be transitively free of wall-clock reads, global
+// randomness, and order-dependent map walks.
+package purity
+
+// Tape stands in for an encoder sink whose write order is observable.
+type Tape struct{ out []string }
+
+func (t *Tape) Emit(s string) { t.out = append(t.out, s) }

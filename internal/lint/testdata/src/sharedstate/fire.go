@@ -1,0 +1,33 @@
+package sharedstate
+
+// SharedTally: two proc bodies increment one plain int. The observed
+// value depends on interleaving — exactly what the pass forbids.
+func SharedTally(eng *Engine) {
+	total := 0
+	eng.Spawn("a", func(p *Proc) { total++ })    // finding: written, shared by 2 procs
+	eng.Spawn("b", func(p *Proc) { total += 2 }) // finding: written, shared by 2 procs
+	_ = total
+}
+
+// LoopSharedSlice: procs spawned in a loop write a slice declared
+// outside it, so every proc mutates the same backing array.
+func LoopSharedSlice(eng *Engine) {
+	hits := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		rank := i
+		eng.Spawn("w", func(p *Proc) { hits[rank] = 1 }) // finding: loop-shared write
+	}
+	_ = hits
+}
+
+// seen is the package-level hazard: spawn sites in two different
+// functions reach the same global.
+var seen int
+
+func SpawnWriterA(eng *Engine) {
+	eng.Spawn("ga", func(p *Proc) { seen++ }) // finding: global written by 2 procs
+}
+
+func SpawnWriterB(eng *Engine) {
+	eng.Spawn("gb", func(p *Proc) { seen = 2 }) // finding: global written by 2 procs
+}

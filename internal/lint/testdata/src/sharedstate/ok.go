@@ -1,0 +1,33 @@
+package sharedstate
+
+// PerProcState: with per-iteration loop variables, everything declared
+// inside the loop body is private to the proc spawned that iteration.
+func PerProcState(eng *Engine) {
+	for i := 0; i < 4; i++ {
+		local := i
+		eng.Spawn("w", func(p *Proc) { local++ })
+	}
+}
+
+// EngineOwned: cross-proc effects flow through the sanctioned types;
+// their methods serialize access through the event queue.
+func EngineOwned(eng *Engine, res *Resource, box *Mailbox) {
+	var done Counter
+	eng.Spawn("a", func(p *Proc) {
+		res.Acquire(p, 1)
+		box.Put(1)
+		done.Add(1)
+	})
+	eng.Spawn("b", func(p *Proc) {
+		res.Release(1)
+		done.Add(1)
+	})
+}
+
+// ReadSharedConfig: a capture every proc only reads is immutable in
+// practice and safe to share.
+func ReadSharedConfig(eng *Engine) {
+	limit := 16
+	eng.Spawn("a", func(p *Proc) { _ = limit })
+	eng.Spawn("b", func(p *Proc) { _ = limit })
+}

@@ -1,0 +1,28 @@
+// Package sharedstate is the fixture for the sharedstate pass. The
+// stubs mirror the engine API shapes the pass matches by name and type:
+// Spawn/Run with a *Proc closure marks a proc body, and the named types
+// here stand in for the engine-owned cross-proc channels.
+package sharedstate
+
+type Proc struct{}
+
+func (p *Proc) Now() int64 { return 0 }
+
+type Resource struct{ n int }
+
+func (r *Resource) Acquire(p *Proc, n int) {}
+func (r *Resource) Release(n int)          {}
+
+type Mailbox struct{}
+
+func (m *Mailbox) Put(v int)       {}
+func (m *Mailbox) Get(p *Proc) int { return 0 }
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Add(d int64) {}
+
+type Engine struct{}
+
+func (e *Engine) Spawn(name string, fn func(p *Proc)) {}
+func (e *Engine) Run() error                          { return nil }

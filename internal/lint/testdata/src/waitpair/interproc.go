@@ -1,0 +1,77 @@
+package waitpair
+
+// Interprocedural fixtures: producers and consumers behind helpers,
+// resolved through the call-graph summaries.
+
+// postOne returns the request for the caller to own — the summary marks
+// its result request-typed, so callers are checked like Isend callers.
+func postOne(p *Proc, data Buf) *Request { return p.Isend(7, 0, data) }
+
+// postPair posts both directions and returns both requests.
+func postPair(p *Proc, data Buf) (*Request, *Request) {
+	return p.Isend(8, 0, data), p.Irecv(8, 0)
+}
+
+// waitOn consumes a request on behalf of its caller.
+func waitOn(p *Proc, r *Request) { p.Wait(r) }
+
+// relay hands the request one hop further to a consumer.
+func relay(p *Proc, r *Request) { waitOn(p, r) }
+
+// peek inspects a request without ever consuming it.
+func peek(r *Request) bool { return r != nil }
+
+// shuffleA and shuffleB hand a request around a cycle in which nobody
+// waits; the fixpoint leaves both parameters unproven.
+func shuffleA(p *Proc, r *Request, depth int) {
+	if depth > 0 {
+		shuffleB(p, r, depth-1)
+	}
+}
+
+func shuffleB(p *Proc, r *Request, depth int) { shuffleA(p, r, depth) }
+
+// HelperDiscarded drops a helper-returned request exactly like a
+// discarded Isend.
+func HelperDiscarded(p *Proc, data Buf) {
+	postOne(p, data) // finding: helper result discarded
+}
+
+// InspectedOnly hands the request to a helper whose summary proves it
+// never waits — inspection is not consumption.
+func InspectedOnly(p *Proc, data Buf) {
+	req := p.Isend(4, 0, data) // finding: only handed to non-consuming helpers
+	_ = peek(req)
+}
+
+// CycledAway feeds the request into the no-wait helper cycle.
+func CycledAway(p *Proc) {
+	req := p.Irecv(3, 0) // finding: the cycle never waits
+	shuffleA(p, req, 2)
+}
+
+// ConsumedByHelper posts and delegates the wait one hop.
+func ConsumedByHelper(p *Proc, data Buf) {
+	req := p.Isend(5, 0, data)
+	waitOn(p, req)
+}
+
+// ConsumedTwoHops delegates the wait through two helpers.
+func ConsumedTwoHops(p *Proc, data Buf) {
+	req := p.Isend(6, 0, data)
+	relay(p, req)
+}
+
+// HelperResultWaited waits on a helper-returned request itself.
+func HelperResultWaited(p *Proc, data Buf) {
+	req := postOne(p, data)
+	p.Wait(req)
+}
+
+// PairWaited unpacks a tuple of helper-returned requests and waits on
+// both halves.
+func PairWaited(p *Proc, data Buf) {
+	sreq, rreq := postPair(p, data)
+	p.Wait(rreq)
+	p.Wait(sreq)
+}

@@ -6,46 +6,58 @@ import (
 	"go/types"
 )
 
-// waitpair checks, function by function, that every request returned by
-// Isend/Irecv reaches a Wait/Waitall. It is the static mirror of the
-// teardown audit: VerifyTeardown catches a leaked receive only on the
-// scenarios a campaign happens to run, while this pass rejects the code
-// shape outright.
+// waitpair checks that every request returned by Isend/Irecv — or by a
+// helper whose signature returns a request — reaches a Wait/Waitall. It
+// is the static mirror of the teardown audit: VerifyTeardown catches a
+// leaked receive only on the scenarios a campaign happens to run, while
+// this pass rejects the code shape outright.
 //
-// The analysis is intraprocedural and flow-approximate:
+// The analysis is flow-approximate per function and interprocedural
+// across them, via the call-graph summaries in summary.go:
 //
 //   - a request discarded at the call site (expression statement or
-//     assignment to _) is always reported;
+//     assignment to _) is always reported — whether it came from
+//     Isend/Irecv or from a helper that returns a request;
 //   - a request bound to a local that is never passed to Wait/Waitall,
 //     never appended into a later-consumed slice, and never escapes
-//     (helper call, return, store into a structure) is reported;
+//     (return, store into a structure) is reported;
+//   - a request passed to a helper in the loaded program is consumed
+//     only if that helper's summary proves the parameter reaches a
+//     Wait (directly or through further helpers); handing a request to
+//     a helper that merely inspects it no longer counts;
 //   - a request whose only waits sit inside conditionals that do not
 //     dominate the post is reported as a may-leak, unless the guard
 //     mentions the request itself (the `if req != nil { Wait }` idiom).
 //
-// Escapes are trusted: a request handed to another function is that
-// function's responsibility, keeping the pass useful without a whole-
-// program analysis.
+// Escapes out of the loaded program (stdlib calls, stores into
+// structures, returns) are trusted: returns are re-checked at every
+// call site through the returning function's summary.
 var waitpairPass = &Pass{
 	Name:  "waitpair",
-	Doc:   "every Isend/Irecv result must reach a Wait/Waitall on all paths",
+	Doc:   "every Isend/Irecv or helper-returned request must reach a Wait/Waitall on all paths",
 	Scope: scopeInternal,
-	Run:   runWaitpair,
 }
 
-func runWaitpair(u *Unit) []Diagnostic {
+func init() { waitpairPass.RunProgram = runWaitpairProgram }
+
+func runWaitpairProgram(prog *Program) []Diagnostic {
 	var out []Diagnostic
-	for _, f := range u.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a := &reqAnalysis{u: u, body: fd.Body, parents: buildParents(fd.Body)}
-			out = append(out, a.run()...)
+	for _, key := range prog.Keys() {
+		fi := prog.Funcs[key]
+		if !applies(waitpairPass, fi.Unit.Path) {
+			continue
 		}
+		a := &reqAnalysis{u: fi.Unit, body: fi.Decl.Body, parents: fi.parents, prog: prog}
+		out = append(out, a.run()...)
 	}
 	return out
+}
+
+type reqAnalysis struct {
+	u       *Unit
+	body    *ast.BlockStmt
+	parents map[ast.Node]ast.Node
+	prog    *Program // nil disables the interprocedural refinements
 }
 
 // buildParents maps every node under root to its syntactic parent.
@@ -66,19 +78,13 @@ func buildParents(root ast.Node) map[ast.Node]ast.Node {
 	return parents
 }
 
-type reqAnalysis struct {
-	u       *Unit
-	body    *ast.BlockStmt
-	parents map[ast.Node]ast.Node
-}
-
 // use classification for one identifier occurrence of a tracked request.
 type useKind int
 
 const (
-	useInspect useKind = iota // read-only: comparison, field access
-	useWait                   // passed to Wait/Waitall
-	useEscape                 // passed to a helper, returned, or stored
+	useInspect useKind = iota // read-only: comparison, field access, non-consuming helper
+	useWait                   // passed to Wait/Waitall or a consuming helper
+	useEscape                 // trusted escape: return, store, call outside the program
 	useCarry                  // appended into a slice (consumed iff the slice is)
 )
 
@@ -86,6 +92,31 @@ type use struct {
 	id      *ast.Ident
 	kind    useKind
 	carrier types.Object // for useCarry: the slice appended into
+	helper  string       // for useInspect via a helper: its name, for the message
+}
+
+// producer resolves a call to a request producer: Isend/Irecv by name,
+// or — with a program loaded — any declared function whose signature
+// returns a request. Returns the producer's display name and its
+// request-typed result mask (nil when the call is not a producer).
+func (a *reqAnalysis) producer(call *ast.CallExpr) (string, []bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if name := sel.Sel.Name; name == "Isend" || name == "Irecv" {
+			return name, []bool{true}
+		}
+	}
+	if a.prog == nil {
+		return "", nil
+	}
+	fi := a.prog.FuncAt(a.u, call)
+	if fi == nil {
+		return "", nil
+	}
+	sum := a.prog.summaryOf(fi)
+	if !sum.returnsAny {
+		return "", nil
+	}
+	return fi.Obj.Name(), sum.resultsReq
 }
 
 func (a *reqAnalysis) run() []Diagnostic {
@@ -95,12 +126,8 @@ func (a *reqAnalysis) run() []Diagnostic {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		name := sel.Sel.Name
-		if name != "Isend" && name != "Irecv" {
+		name, results := a.producer(call)
+		if results == nil {
 			return true
 		}
 		switch parent := a.parents[call].(type) {
@@ -108,24 +135,17 @@ func (a *reqAnalysis) run() []Diagnostic {
 			out = append(out, diag(a.u, call, "waitpair",
 				"result of %s is discarded; the request never reaches a Wait, so completion is unobserved", name))
 		case *ast.AssignStmt:
-			lhs := assignTarget(parent, call)
-			switch lhs := lhs.(type) {
-			case *ast.Ident:
-				if lhs.Name == "_" {
-					out = append(out, diag(a.u, call, "waitpair",
-						"result of %s is assigned to _; the request never reaches a Wait", name))
-					break
-				}
-				obj := a.u.Info.ObjectOf(lhs)
-				if obj != nil {
-					if d, bad := a.checkProducer(obj, call, name); bad {
-						out = append(out, d)
+			if len(parent.Rhs) == 1 && len(parent.Lhs) > 1 {
+				// Tuple assignment: check each request-typed result's target.
+				for i, lhs := range parent.Lhs {
+					if i >= len(results) || !results[i] {
+						continue
 					}
+					out = append(out, a.checkTarget(lhs, call, name)...)
 				}
-			default:
-				// Stored straight into a slice element, field, or map:
-				// the container owns it now; trust the consumer.
+				break
 			}
+			out = append(out, a.checkTarget(assignTarget(parent, call), call, name)...)
 		case *ast.ValueSpec:
 			for i, v := range parent.Values {
 				if v != ast.Expr(call) || i >= len(parent.Names) {
@@ -147,6 +167,28 @@ func (a *reqAnalysis) run() []Diagnostic {
 	return out
 }
 
+// checkTarget reports on one assignment target receiving a produced
+// request: blank targets always fire; plain locals are tracked.
+func (a *reqAnalysis) checkTarget(lhs ast.Expr, call *ast.CallExpr, name string) []Diagnostic {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return []Diagnostic{diag(a.u, call, "waitpair",
+				"result of %s is assigned to _; the request never reaches a Wait", name)}
+		}
+		obj := a.u.Info.ObjectOf(lhs)
+		if obj != nil {
+			if d, bad := a.checkProducer(obj, call, name); bad {
+				return []Diagnostic{d}
+			}
+		}
+	default:
+		// Stored straight into a slice element, field, or map:
+		// the container owns it now; trust the consumer.
+	}
+	return nil
+}
+
 // assignTarget returns the LHS expression matching call on the RHS of an
 // assignment, or nil.
 func assignTarget(as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
@@ -162,7 +204,7 @@ func assignTarget(as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
 // decides whether the request provably reaches a wait.
 func (a *reqAnalysis) checkProducer(obj types.Object, call *ast.CallExpr, name string) (Diagnostic, bool) {
 	uses := a.usesOf(obj, call.End())
-	definite, conditional := false, false
+	definite, conditional, inspectedByHelper := false, false, false
 	for _, us := range uses {
 		consumed := false
 		switch us.kind {
@@ -170,6 +212,10 @@ func (a *reqAnalysis) checkProducer(obj types.Object, call *ast.CallExpr, name s
 			consumed = true
 		case useCarry:
 			consumed = us.carrier != nil && a.carrierConsumed(us.carrier, us.id.End(), 0)
+		case useInspect:
+			if us.helper != "" {
+				inspectedByHelper = true
+			}
 		}
 		if !consumed {
 			continue
@@ -186,6 +232,9 @@ func (a *reqAnalysis) checkProducer(obj types.Object, call *ast.CallExpr, name s
 	case conditional:
 		return diag(a.u, call, "waitpair",
 			"request from %s is waited only inside a conditional; a path can leave it un-waited (guard on the request itself, or wait unconditionally)", name), true
+	case inspectedByHelper:
+		return diag(a.u, call, "waitpair",
+			"request from %s is handed only to helpers that never Wait on it (per their call-graph summaries); it never reaches a Wait/Waitall", name), true
 	default:
 		return diag(a.u, call, "waitpair",
 			"request from %s is never passed to Wait/Waitall and never escapes this function", name), true
@@ -223,6 +272,16 @@ func (a *reqAnalysis) classify(id *ast.Ident) use {
 			}
 			return use{id: id, kind: useInspect} // used as an index
 		case *ast.SelectorExpr:
+			if p.X == exprOf(cur) {
+				if call, ok := a.parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+					// Method call on the request itself: wrapper handles
+					// (AllgatherRequest and friends) complete via their
+					// own Wait method rather than p.Wait(req).
+					if p.Sel.Name == "Wait" || p.Sel.Name == "Waitall" {
+						return use{id: id, kind: useWait}
+					}
+				}
+			}
 			return use{id: id, kind: useInspect} // field read/write
 		case *ast.CallExpr:
 			callee := calleeIdent(p)
@@ -240,7 +299,7 @@ func (a *reqAnalysis) classify(id *ast.Ident) use {
 			case "len", "cap":
 				return use{id: id, kind: useInspect}
 			default:
-				return use{id: id, kind: useEscape}
+				return a.classifyHelperArg(id, p, exprOf(cur))
 			}
 		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.UnaryExpr:
 			return use{id: id, kind: useEscape}
@@ -265,6 +324,40 @@ func (a *reqAnalysis) classify(id *ast.Ident) use {
 			return use{id: id, kind: useInspect}
 		}
 	}
+}
+
+// classifyHelperArg resolves a request passed as a call argument through
+// the callee's summary: a parameter proven to reach a Wait consumes the
+// request; a request-typed parameter that provably never waits is mere
+// inspection (the leak surfaces at this call site); anything unresolvable
+// — dynamic calls, functions outside the loaded program — stays a
+// trusted escape, preserving the old boundary behavior where the program
+// cannot see.
+func (a *reqAnalysis) classifyHelperArg(id *ast.Ident, call *ast.CallExpr, arg ast.Expr) use {
+	if a.prog == nil {
+		return use{id: id, kind: useEscape}
+	}
+	fi := a.prog.FuncAt(a.u, call)
+	if fi == nil {
+		return use{id: id, kind: useEscape}
+	}
+	ai := findArg(call, arg)
+	if ai < 0 {
+		return use{id: id, kind: useEscape}
+	}
+	sig := fi.Obj.Type().(*types.Signature)
+	pi, ok := argParamIndex(sig, ai)
+	if !ok {
+		return use{id: id, kind: useEscape}
+	}
+	sum := a.prog.summaryOf(fi)
+	if !sum.reqParam[pi] {
+		return use{id: id, kind: useEscape} // wrapped into interface{} etc: trusted
+	}
+	if sum.paramConsumed[pi] {
+		return use{id: id, kind: useWait}
+	}
+	return use{id: id, kind: useInspect, helper: fi.Obj.Name()}
 }
 
 // appendTarget resolves append's destination to an object when it is a

@@ -285,6 +285,8 @@ func AnalyzeGoal(s *Schedule, prm *netmodel.Params, g *Goal) (*Report, error) {
 }
 
 // AnalyzeGoalHealth is AnalyzeGoal under a rail-health vector.
+//
+//lint:pure the alpha-beta price feeds cached decisions and must not drift
 func AnalyzeGoalHealth(s *Schedule, prm *netmodel.Params, health []float64, g *Goal) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err

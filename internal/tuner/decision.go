@@ -40,6 +40,8 @@ type Decision struct {
 }
 
 // Encode renders the canonical wire/persisted bytes.
+//
+//lint:pure persisted bytes must be a function of the decision alone
 func (d *Decision) Encode() ([]byte, error) {
 	return json.Marshal(d)
 }

@@ -125,6 +125,8 @@ func (q Query) validate() error {
 // fully healthy — and derives the key: the hex SHA-256 of a versioned
 // rendering of every normalized field. Two queries with the same
 // canonical form are, to the synthesizer, the same machine state.
+//
+//lint:pure the cache key must depend on the query fields alone
 func (q Query) Canonical() (Query, string, error) {
 	if err := q.validate(); err != nil {
 		return Query{}, "", err

@@ -212,6 +212,7 @@ func (s *Service) synthesize(cq Query, key string) (*Decision, []byte, error) {
 // searched pick.
 func (s *Service) predictUS(cq Query) float64 { return predictQueryUS(s.prm, cq) }
 
+//lint:pure the recorded analytic reference must replay bit-identically
 func predictQueryUS(prm *netmodel.Params, cq Query) float64 {
 	topo := cq.Cluster()
 	m := perfmodel.New(prm, topo)
